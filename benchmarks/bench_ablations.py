@@ -1,0 +1,279 @@
+"""Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+Not part of the paper's evaluation — these quantify the internal choices:
+
+* **greedy vs CELF vs top-|σ|** — oracle-call counts and achieved spread of
+  the three seed selectors over the same oracle;
+* **vHLL dominance pruning** — empirical per-cell list lengths against the
+  O(log ω) bound of Lemma 4;
+* **exact vs sketch index** — build time and accounted memory side by
+  side (the trade the paper's §3.2 motivates);
+* **TCIC judge variants** — the literal pseudo-code (seed clock resets)
+  vs the §2 prose (first-interaction activation).
+"""
+
+import math
+import time
+
+from conftest import register_table
+
+from repro.analysis.memory import accounted_bytes, megabytes
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.maximization import celf_top_k, greedy_top_k, top_k_by_influence
+from repro.core.oracle import ExactInfluenceOracle
+from repro.simulation.spread import estimate_spread
+
+
+class CountingOracle(ExactInfluenceOracle):
+    """Wraps the exact oracle to count gain evaluations."""
+
+    def __init__(self, sets):
+        super().__init__(sets)
+        self.gain_calls = 0
+
+    def gain(self, state, node):
+        self.gain_calls += 1
+        return super().gain(state, node)
+
+
+def test_ablation_selector_strategies(benchmark, small_catalog_logs):
+    """Greedy and CELF agree on spread; CELF needs far fewer gain calls;
+    top-|sigma| is cheapest but loses coverage to overlap."""
+    rows = []
+    for name in ("slashdot-sim", "facebook-sim"):
+        log = small_catalog_logs[name]
+        window = log.window_from_percent(10)
+        index = ExactIRS.from_log(log, window)
+        sets = {node: index.reachability_set(node) for node in index.nodes}
+        for selector_name, selector in (
+            ("greedy", greedy_top_k),
+            ("celf", celf_top_k),
+            ("top-by-sigma", top_k_by_influence),
+        ):
+            oracle = CountingOracle(sets)
+            start = time.perf_counter()
+            seeds = selector(oracle, 20)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "dataset": name,
+                    "selector": selector_name,
+                    "oracle_spread": oracle.spread(seeds),
+                    "gain_calls": oracle.gain_calls,
+                    "seconds": elapsed,
+                }
+            )
+    register_table(
+        "Ablation selector strategies (k=20)",
+        rows,
+        note="greedy == celf spread; celf needs fewer gain calls; "
+        "top-by-sigma ignores overlap and covers less.",
+    )
+    by_key = {(r["dataset"], r["selector"]): r for r in rows}
+    for name in ("slashdot-sim", "facebook-sim"):
+        greedy_row = by_key[(name, "greedy")]
+        celf_row = by_key[(name, "celf")]
+        naive_row = by_key[(name, "top-by-sigma")]
+        assert celf_row["oracle_spread"] == greedy_row["oracle_spread"]
+        assert celf_row["gain_calls"] <= greedy_row["gain_calls"]
+        assert naive_row["oracle_spread"] <= greedy_row["oracle_spread"]
+
+    log = small_catalog_logs["slashdot-sim"]
+    window = log.window_from_percent(10)
+    oracle = ExactInfluenceOracle.from_index(ExactIRS.from_log(log, window))
+    benchmark(celf_top_k, oracle, 20)
+
+
+def test_ablation_vhll_list_lengths(benchmark, small_catalog_logs):
+    """Lemma 4: expected per-cell version-list length is O(log omega)."""
+    rows = []
+    for name, log in small_catalog_logs.items():
+        for percent in (1, 10, 20):
+            window = log.window_from_percent(percent)
+            index = ApproxIRS.from_log(log, window, precision=9)
+            longest = index.max_cell_length()
+            bound = 3 * math.log(max(window, 2)) + 3
+            rows.append(
+                {
+                    "dataset": name,
+                    "window_pct": percent,
+                    "max_cell_list": longest,
+                    "3ln(omega)+3": round(bound, 1),
+                }
+            )
+    register_table(
+        "Ablation vHLL per-cell list lengths",
+        rows,
+        note="max list length stays within a small multiple of ln(omega) "
+        "(Lemma 4's expectation bound).",
+    )
+    for row in rows:
+        assert row["max_cell_list"] <= row["3ln(omega)+3"]
+
+    log = small_catalog_logs["slashdot-sim"]
+    benchmark(ApproxIRS.from_log, log, log.window_from_percent(20), 9)
+
+
+def test_ablation_exact_vs_sketch_index(benchmark, small_catalog_logs):
+    """The §3.2 trade: the sketch costs more CPU in pure Python but its
+    memory is bounded by n*beta, while the exact index grows with n^2."""
+    rows = []
+    for name, log in small_catalog_logs.items():
+        window = log.window_from_percent(20)
+        start = time.perf_counter()
+        exact = ExactIRS.from_log(log, window)
+        exact_time = time.perf_counter() - start
+        start = time.perf_counter()
+        sketch = ApproxIRS.from_log(log, window, precision=9)
+        sketch_time = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": name,
+                "exact_s": exact_time,
+                "sketch_s": sketch_time,
+                "exact_mb": megabytes(accounted_bytes(exact)),
+                "sketch_mb": megabytes(accounted_bytes(sketch)),
+                "exact_entries": exact.entry_count(),
+                "sketch_entries": sketch.entry_count(),
+            }
+        )
+    register_table(
+        "Ablation exact vs sketch index (omega=20%)",
+        rows,
+        note="sketch entries bounded regardless of reachability growth; "
+        "exact entries approach n^2 on dense-reachability sets.",
+    )
+
+    log = small_catalog_logs["enron-sim"]
+    benchmark(ExactIRS.from_log, log, log.window_from_percent(20))
+
+
+def test_ablation_sketch_backends(benchmark, small_catalog_logs):
+    """vHLL vs versioned bottom-k at matched stored-pair budgets.
+
+    Quantifies why the paper versions HyperLogLog: a bottom-k sketch's
+    eviction (by hash only) loses exactly the pairs stricter time filters
+    need, so its windowed-merge accuracy degrades where the vHLL's Pareto
+    lists do not."""
+    from repro.analysis.metrics import average_relative_error
+    from repro.core.approx_bottomk import BottomKIRS
+
+    rows = []
+    for name in ("lkml-sim", "slashdot-sim", "facebook-sim"):
+        log = small_catalog_logs[name]
+        for percent in (1, 10):
+            window = log.window_from_percent(percent)
+            truth = ExactIRS.from_log(log, window).irs_sizes()
+            vhll = ApproxIRS.from_log(log, window, precision=9)
+            bottomk = BottomKIRS.from_log(log, window, k=64)
+            rows.append(
+                {
+                    "dataset": name,
+                    "window_pct": percent,
+                    "vhll_err": average_relative_error(truth, vhll.irs_estimates()),
+                    "bottomk_err": average_relative_error(
+                        truth, bottomk.irs_estimates()
+                    ),
+                    "vhll_pairs": vhll.entry_count(),
+                    "bottomk_pairs": bottomk.entry_count(),
+                }
+            )
+    register_table(
+        "Ablation sketch backends (vHLL beta=512 vs bottom-k k=64)",
+        rows,
+        note="vHLL matches or beats bottom-k accuracy wherever windowed "
+        "merging matters, at comparable stored pairs.",
+    )
+    mean_vhll = sum(r["vhll_err"] for r in rows) / len(rows)
+    mean_bottomk = sum(r["bottomk_err"] for r in rows) / len(rows)
+    assert mean_vhll <= mean_bottomk * 1.2
+
+    log = small_catalog_logs["slashdot-sim"]
+    benchmark(BottomKIRS.from_log, log, log.window_from_percent(10), 64)
+
+
+def test_ablation_multiwindow_index(benchmark, small_catalog_logs):
+    """One MultiWindowIRS build vs one ExactIRS build per queried window.
+
+    The multi-window index answers *every* omega; this quantifies its
+    overhead against the W separate single-window builds it replaces."""
+    from repro.core.multiwindow import MultiWindowIRS
+
+    windows_pct = (1, 5, 10, 20, 50)
+    rows = []
+    for name in ("slashdot-sim", "lkml-sim"):
+        log = small_catalog_logs[name]
+        start = time.perf_counter()
+        multi = MultiWindowIRS.from_log(log)
+        multi_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for percent in windows_pct:
+            ExactIRS.from_log(log, log.window_from_percent(percent))
+        repeated_time = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": name,
+                "multi_s": multi_time,
+                "5x_exact_s": repeated_time,
+                "multi_entries": multi.entry_count(),
+                "max_frontier": multi.max_frontier_length(),
+            }
+        )
+        # Answers must agree at every window (spot-checked here, fully
+        # verified in the test-suite).
+        for percent in windows_pct:
+            window = log.window_from_percent(percent)
+            reference = ExactIRS.from_log(log, window)
+            for node in list(log.nodes)[:25]:
+                assert multi.reachability_set(node, window) == (
+                    reference.reachability_set(node)
+                )
+    register_table(
+        "Ablation multi-window index vs repeated exact builds",
+        rows,
+        note="one build answers every omega; on dense-reachability logs the "
+        "frontiers grow (lkml max 50), so it beats repeated builds only "
+        "when many more than ~20 windows are queried.",
+    )
+
+    log = small_catalog_logs["slashdot-sim"]
+    benchmark(MultiWindowIRS.from_log, log)
+
+
+def test_ablation_tcic_judge_variants(benchmark, small_catalog_logs):
+    """The literal Algorithm 1 (seed clock resets per interaction) always
+    spreads at least as far as the prose variant, often far more."""
+    rows = []
+    for name in ("lkml-sim", "slashdot-sim"):
+        log = small_catalog_logs[name]
+        window = log.window_from_percent(1)
+        seeds = sorted(log.nodes, key=repr)[:10]
+        literal = estimate_spread(
+            log, seeds, window, 1.0, reset_seed_clock=True
+        ).mean
+        prose = estimate_spread(
+            log, seeds, window, 1.0, reset_seed_clock=False
+        ).mean
+        rows.append(
+            {
+                "dataset": name,
+                "literal_spread": literal,
+                "prose_spread": prose,
+            }
+        )
+    register_table(
+        "Ablation TCIC judge variants (p=1, omega=1%)",
+        rows,
+        note="literal pseudo-code >= prose; the paper's Figure 5 behaviour "
+        "matches the literal reading.",
+    )
+    for row in rows:
+        assert row["literal_spread"] >= row["prose_spread"]
+
+    log = small_catalog_logs["slashdot-sim"]
+    seeds = sorted(log.nodes, key=repr)[:10]
+    window = log.window_from_percent(1)
+    benchmark(
+        estimate_spread, log, seeds, window, 0.5, 5, 3
+    )

@@ -1,0 +1,64 @@
+"""Cross-judge robustness of the Figure 5 ranking (extension).
+
+The paper scores every method under its own TCIC model.  A fair question
+is whether the IRS advantage is an artefact of that judge.  This bench
+re-scores the same seed sets under the structurally different
+Time-Constrained **Linear Threshold** judge (`repro.simulation.tclt`) and
+reports both rankings side by side: the method ordering should be broadly
+stable (IRS at or near the top under both), evidence the seeds are good
+per se rather than tuned to one propagation model.
+"""
+
+from conftest import register_table
+
+from repro.analysis.experiments import select_seeds
+from repro.simulation.spread import estimate_spread
+from repro.simulation.tclt import estimate_tclt_spread
+from repro.utils.rng import resolve_rng, spawn_rng
+
+METHODS = ("PR", "HD", "SHD", "IRS", "IRS-approx")
+K = 30
+
+
+def test_cross_judge_ranking(benchmark, small_catalog_logs):
+    rows = []
+    generator = resolve_rng(31)
+    for name in ("enron-sim", "facebook-sim"):
+        log = small_catalog_logs[name]
+        window = log.window_from_percent(1)
+        for stream, method in enumerate(METHODS):
+            seeds = select_seeds(
+                log, method, K, window, precision=9, rng=spawn_rng(generator, stream)
+            )
+            tcic = estimate_spread(log, seeds, window, 1.0).mean
+            tclt = estimate_tclt_spread(log, seeds, window, runs=3, rng=11)
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "tcic_spread": tcic,
+                    "tclt_spread": tclt,
+                }
+            )
+    register_table(
+        "Cross-judge spread of top-30 seeds (omega=1%)",
+        rows,
+        note="method ordering is broadly stable across the IC and LT "
+        "judges; IRS stays at or near the top under both.",
+    )
+    # Robustness assertion: under the LT judge, IRS seeds stay within 10%
+    # of the best method on every dataset.
+    for name in ("enron-sim", "facebook-sim"):
+        subset = {r["method"]: r["tclt_spread"] for r in rows if r["dataset"] == name}
+        assert subset["IRS"] >= 0.9 * max(subset.values())
+
+    log = small_catalog_logs["enron-sim"]
+    window = log.window_from_percent(1)
+    seeds = select_seeds(log, "HD", K, window)
+    benchmark.pedantic(
+        estimate_tclt_spread,
+        args=(log, seeds, window),
+        kwargs={"runs": 2, "rng": 1},
+        rounds=2,
+        iterations=1,
+    )

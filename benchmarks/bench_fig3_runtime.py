@@ -1,0 +1,39 @@
+"""Figure 3 — one-pass processing time as a function of the window length.
+
+Paper: log-scale time rises with ω and becomes almost flat past ω ≈ 10 %
+(the IRS stops changing once the window is large enough); the one-pass
+algorithm scales linearly with interaction count (US-2016's 45 M
+interactions in 8 min).  Same sweep here over all six simulated datasets.
+"""
+
+from conftest import register_table, register_text
+
+from repro.analysis.experiments import runtime_experiment
+from repro.analysis.plots import ascii_chart, series_from_rows
+from repro.core.approx import ApproxIRS
+
+WINDOW_SWEEP = (1, 5, 10, 20, 40, 60, 80, 100)
+
+
+def test_fig3_processing_time(benchmark, catalog_logs):
+    rows = runtime_experiment(catalog_logs, window_percents=WINDOW_SWEEP, precision=9)
+    register_table(
+        "Fig3 processing time vs window (s)",
+        rows,
+        note="time grows with omega, flattens past ~10-20%; us2016 largest.",
+    )
+    register_text(
+        "Fig3-chart",
+        ascii_chart(
+            series_from_rows(rows, x="window_pct", y="seconds", series="dataset"),
+            title="Fig3 log10(processing seconds) vs window % (cf. paper Fig. 3)",
+            log_y=True,
+        ),
+    )
+    # Shape: the 100% run is never faster than the 1% run on big datasets.
+    by_key = {(r["dataset"], r["window_pct"]): r["seconds"] for r in rows}
+    assert by_key[("us2016-sim", 100)] >= by_key[("us2016-sim", 1)] * 0.8
+
+    log = catalog_logs["higgs-sim"]
+    window = log.window_from_percent(10)
+    benchmark(ApproxIRS.from_log, log, window, 9)

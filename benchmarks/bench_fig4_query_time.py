@@ -1,0 +1,56 @@
+"""Figure 4 — influence-oracle query time vs seed-set size.
+
+Paper: query time is a few milliseconds even for 10 000 seeds, grows
+roughly linearly with the seed count and is *independent of the graph
+size* (sketch union is cell-wise max).  Same measurement here, on the
+smallest and the largest dataset to exhibit the independence.
+"""
+
+import pytest
+from conftest import register_table, register_text
+
+from repro.analysis.plots import ascii_chart, series_from_rows
+from repro.analysis.experiments import oracle_query_experiment
+from repro.core.approx import ApproxIRS
+from repro.core.oracle import ApproxInfluenceOracle
+
+SEED_COUNTS = (10, 100, 1_000, 5_000, 10_000)
+
+
+def test_fig4_oracle_query_time(benchmark, catalog_logs):
+    rows = []
+    for name in ("slashdot-sim", "us2016-sim"):
+        rows.extend(
+            oracle_query_experiment(
+                catalog_logs[name],
+                name,
+                seed_counts=SEED_COUNTS,
+                window_percent=20,
+                precision=9,
+                repetitions=3,
+                rng=5,
+            )
+        )
+    register_table(
+        "Fig4 oracle query time (ms) vs seeds",
+        rows,
+        note="near-linear in |S|; similar for small and huge graphs.",
+    )
+    register_text(
+        "Fig4-chart",
+        ascii_chart(
+            series_from_rows(rows, x="num_seeds", y="milliseconds", series="dataset"),
+            title="Fig4 oracle query ms vs seed count (cf. paper Fig. 4)",
+        ),
+    )
+    by_key = {(r["dataset"], r["num_seeds"]): r["milliseconds"] for r in rows}
+    for name in ("slashdot-sim", "us2016-sim"):
+        assert by_key[(name, 10_000)] >= by_key[(name, 10)]
+
+    log = catalog_logs["slashdot-sim"]
+    oracle = ApproxInfluenceOracle.from_index(
+        ApproxIRS.from_log(log, log.window_from_percent(20), precision=9)
+    )
+    nodes = sorted(log.nodes, key=repr)
+    seeds = [nodes[i % len(nodes)] for i in range(1_000)]
+    benchmark(oracle.spread, seeds)

@@ -1,0 +1,94 @@
+"""Figure 5 — TCIC spread of each method's top-k seeds.
+
+Paper: twelve panels — Lkml/Enron/Facebook × ω ∈ {1 %, 20 %} × infection
+probability ∈ {50 %, 100 %} — showing IRS(Exact) consistently on top,
+IRS(Approx) close behind, SKIM/ConTinEst weakest at small windows and
+catching up at ω = 20 %, and SHD ≥ HD throughout.
+
+This bench reproduces the full grid on the simulated datasets (a reduced k
+grid and Monte-Carlo budget keep the pure-Python run in minutes) and
+asserts the headline shape: at the small window, greedy-IRS seeds beat the
+static baselines on average.
+"""
+
+from conftest import register_table, register_text
+
+from repro.analysis.experiments import spread_comparison
+from repro.analysis.metrics import summarize
+from repro.analysis.plots import ascii_chart, series_from_rows
+from repro.core.approx import ApproxIRS
+from repro.core.maximization import greedy_top_k
+from repro.core.oracle import ApproxInfluenceOracle
+
+KS = (5, 15, 30, 50)
+METHODS = ("PR", "HD", "SHD", "SKIM", "CTE", "IRS", "IRS-approx")
+
+
+def test_fig5_spread_comparison(benchmark, small_catalog_logs):
+    rows = []
+    for name in ("lkml-sim", "enron-sim", "facebook-sim"):
+        log = small_catalog_logs[name]
+        rows.extend(
+            spread_comparison(
+                log,
+                name,
+                ks=KS,
+                window_percents=(1, 20),
+                probabilities=(0.5, 1.0),
+                methods=METHODS,
+                runs=3,
+                precision=9,
+                rng=17,
+            )
+        )
+    register_table(
+        "Fig5 TCIC spread of top-k seeds",
+        rows,
+        note="IRS(exact) tops or ties each panel; SKIM/CTE weakest at 1%.",
+    )
+    panels = []
+    for name in ("lkml-sim", "enron-sim", "facebook-sim"):
+        for window in (1, 20):
+            panels.append(
+                ascii_chart(
+                    series_from_rows(
+                        rows,
+                        x="k",
+                        y="spread",
+                        series="method",
+                        where={
+                            "dataset": name,
+                            "window_pct": window,
+                            "probability": 1.0,
+                        },
+                    ),
+                    title=f"Fig5 panel {name} omega={window}% p=1.0",
+                    width=48,
+                    height=12,
+                )
+            )
+    register_text("Fig5-charts", "\n\n".join(panels))
+
+    # Headline shape: averaged over datasets and k at (1%, p=1.0), the
+    # exact-IRS seeds dominate the pure-static rankings (PR and HD).
+    def mean_spread(method):
+        values = [
+            r["spread"]
+            for r in rows
+            if r["method"] == method
+            and r["window_pct"] == 1
+            and r["probability"] == 1.0
+        ]
+        return summarize(values).mean
+
+    assert mean_spread("IRS") >= mean_spread("PR") * 0.95
+    assert mean_spread("IRS") >= mean_spread("HD") * 0.95
+
+    log = small_catalog_logs["facebook-sim"]
+    window = log.window_from_percent(1)
+
+    def irs_select():
+        index = ApproxIRS.from_log(log, window, precision=9)
+        return greedy_top_k(ApproxInfluenceOracle.from_index(index), 10)
+
+    benchmark.pedantic(irs_select, rounds=2, iterations=1)

@@ -1,0 +1,35 @@
+"""Auto-generated experiment report (benchmarks/results/report.md).
+
+Runs :func:`repro.analysis.report.generate_report` at a reduced scale and
+persists the markdown — the one-file artefact a reviewer can diff against
+EXPERIMENTS.md's recorded numbers.
+"""
+
+import os
+
+from conftest import RESULTS_DIR, register_text
+
+from repro.analysis.report import generate_report
+
+
+def test_report_generation(benchmark):
+    rendered = generate_report(scale=0.2, seed=1, precision=9)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "report.md")
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(rendered + "\n")
+    register_text(
+        "Report auto-generated",
+        f"full experiment report written to {path} "
+        f"({len(rendered.splitlines())} lines)",
+    )
+    assert "# Experiment report" in rendered
+    for heading in ("Table 2", "Table 5", "Figure 5"):
+        assert heading in rendered
+
+    benchmark.pedantic(
+        generate_report,
+        kwargs={"scale": 0.05, "seed": 1, "sections": ("table2",), "precision": 6},
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""Table 4 — memory used to process all interactions per window length.
+
+Paper: MB grows with the node count (Higgs ≫ Enron despite fewer
+interactions) and mildly with ω.  We report entry-accounted MB of the
+sketch index (see repro.analysis.memory for the cost model).
+"""
+
+from conftest import register_table
+
+from repro.analysis.experiments import memory_experiment
+from repro.analysis.memory import accounted_bytes
+from repro.core.approx import ApproxIRS
+
+
+def test_table4_memory(benchmark, catalog_logs):
+    rows = memory_experiment(catalog_logs, window_percents=(1, 10, 20), precision=9)
+    register_table(
+        "Table4 accounted sketch memory (MB)",
+        rows,
+        note="grows with omega; dominated by node count (us2016 largest).",
+    )
+    for row in rows:
+        assert row["mb_at_20pct"] >= row["mb_at_1pct"] - 1e-12
+
+    log = catalog_logs["slashdot-sim"]
+    window = log.window_from_percent(20)
+
+    def build_and_account():
+        return accounted_bytes(ApproxIRS.from_log(log, window, precision=9))
+
+    benchmark(build_and_account)

@@ -1,0 +1,44 @@
+"""Table 6 — time (seconds) to find the top-50 seeds per method.
+
+Paper: degree heuristics are fastest; SKIM is fast after preprocessing;
+IRS costs more on interaction-heavy datasets (its one-pass index build
+scales with |E|, included in the timing); ConTinEst is slowest everywhere
+and fails on the largest dataset.  The IRS column here is IRS(approx),
+matching the paper.
+"""
+
+from conftest import register_table
+
+from repro.analysis.experiments import seed_time_experiment
+from repro.analysis.metrics import summarize
+
+METHODS = ("IRS-approx", "SKIM", "PR", "HD", "SHD", "CTE")
+
+
+def test_table6_seed_selection_time(benchmark, small_catalog_logs):
+    rows = seed_time_experiment(
+        small_catalog_logs,
+        k=50,
+        window_percent=1,
+        methods=METHODS,
+        precision=9,
+        rng=23,
+    )
+    register_table(
+        "Table6 seconds to find top-50 seeds",
+        rows,
+        note="HD fastest; IRS grows with |E| (paper's CTE, run at its full "
+        "sample budget, was slowest — ours uses reduced samples).",
+    )
+    # Shape: HD beats IRS-approx on every dataset (it ignores temporality).
+    for row in rows:
+        assert row["HD"] <= row["IRS-approx"]
+
+    def hd_only():
+        return seed_time_experiment(
+            {"slashdot-sim": small_catalog_logs["slashdot-sim"]},
+            k=50,
+            methods=("HD",),
+        )
+
+    benchmark.pedantic(hd_only, rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""Find the most influential employees in an email network.
+
+The motivating scenario of the paper's introduction: in an email network it
+is not *who is connected to whom* that matters but *who actually mails whom,
+and when*.  This example generates an Enron-like email log, builds the
+exact IRS index, and compares the seeds it selects against the classical
+static heuristics — scoring everyone with the TCIC cascade simulator at
+infection probabilities 1.0 and 0.5, like the paper's Figure 5 panels.
+
+Run:  python examples/email_influencers.py
+"""
+
+from repro import ExactInfluenceOracle, ExactIRS, estimate_spread, greedy_top_k
+from repro.baselines import (
+    high_degree_top_k,
+    pagerank_top_k,
+    skim_top_k,
+    smart_high_degree_top_k,
+)
+from repro.datasets import email_network
+
+K = 10
+WINDOW_PERCENT = 1
+MONTE_CARLO_RUNS = 20
+
+
+def main() -> None:
+    # ~600 employees, 20 communities, two years of mail at 10 ticks/day.
+    # Sparse enough that reachability sets differ — in a log where every
+    # user reaches everyone, all selectors tie and the window is moot.
+    log = email_network(
+        num_nodes=600,
+        num_interactions=6_000,
+        time_span=7_300,
+        num_communities=20,
+        reply_probability=0.35,
+        rng=2024,
+    )
+    window = log.window_from_percent(WINDOW_PERCENT)
+    print(
+        f"email log: {log.num_nodes} users, {log.num_interactions} messages, "
+        f"window = {WINDOW_PERCENT}% of the span = {window} ticks"
+    )
+
+    # One reverse pass over the log builds every user's exact summary.
+    index = ExactIRS.from_log(log, window)
+    oracle = ExactInfluenceOracle.from_index(index)
+
+    contenders = {
+        "IRS greedy (this paper)": greedy_top_k(oracle, K),
+        "PageRank (reversed)": pagerank_top_k(log, K),
+        "HighDegree": high_degree_top_k(log, K),
+        "SmartHighDegree": smart_high_degree_top_k(log, K),
+        "SKIM": skim_top_k(log, K, rng=1),
+    }
+
+    for probability in (1.0, 0.5):
+        print(
+            f"\nexpected TCIC spread of each method's top-{K} seeds "
+            f"(p = {probability}):"
+        )
+        for name, seeds in contenders.items():
+            spread = estimate_spread(
+                log, seeds, window, probability, runs=MONTE_CARLO_RUNS, rng=7
+            )
+            stderr = f" ± {spread.stderr:.1f}" if probability < 1.0 else ""
+            print(f"  {name:<26} {spread.mean:7.1f}{stderr}")
+
+    print("\ntop influencers by individual reach (exact |sigma|):")
+    ranked = sorted(log.nodes, key=lambda u: -index.irs_size(u))[:5]
+    for user in ranked:
+        print(
+            f"  user {user}: reaches {index.irs_size(user)} users "
+            f"within {window} ticks"
+        )
+
+
+if __name__ == "__main__":
+    main()

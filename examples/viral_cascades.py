@@ -1,0 +1,73 @@
+"""Who seeds a viral cascade?  Sketch-scale analysis of a retweet stream.
+
+Higgs-style scenario: a short, extremely bursty stream of re-shares.  This
+example shows the properties the paper's experiments highlight —
+
+* the one-pass sketch index handles tens of thousands of interactions in
+  seconds and its memory is governed by the node count, not the stream
+  length (Table 4);
+* influence-oracle queries cost microseconds per seed and are independent
+  of the graph size (Figure 4);
+* combining seeds through the oracle accounts for audience overlap, which
+  a per-node ranking cannot.
+
+Run:  python examples/viral_cascades.py
+"""
+
+import time
+
+from repro import ApproxInfluenceOracle, ApproxIRS, greedy_top_k, top_k_by_influence
+from repro.analysis.memory import accounted_bytes, megabytes
+from repro.datasets import cascade_network
+
+K = 8
+
+
+def main() -> None:
+    log = cascade_network(
+        num_nodes=5_000,
+        num_interactions=30_000,
+        time_span=7_000,  # one "week" at 1000 ticks/day
+        rng=99,
+    )
+    window = log.window_from_percent(10)
+    print(
+        f"cascade stream: {log.num_nodes} users, {log.num_interactions} "
+        f"re-shares over {log.time_span} ticks; window = {window} ticks"
+    )
+
+    start = time.perf_counter()
+    index = ApproxIRS.from_log(log, window, precision=9)
+    build_time = time.perf_counter() - start
+    print(
+        f"sketch index built in {build_time:.1f}s — "
+        f"{megabytes(accounted_bytes(index)):.2f} MB accounted "
+        f"({index.entry_count()} sketch entries)"
+    )
+
+    oracle = ApproxInfluenceOracle.from_index(index)
+
+    # Oracle queries: microseconds per seed, independent of graph size.
+    nodes = sorted(log.nodes)
+    sample = [nodes[i * 37 % len(nodes)] for i in range(1_000)]
+    start = time.perf_counter()
+    combined = oracle.spread(sample)
+    query_time = (time.perf_counter() - start) * 1_000
+    print(
+        f"oracle query over 1000 seeds: {query_time:.1f} ms "
+        f"(combined audience ~{combined:.0f} users)"
+    )
+
+    greedy_seeds = greedy_top_k(oracle, K)
+    naive_seeds = top_k_by_influence(oracle, K)
+    print(f"\ntop-{K} seeds, overlap-aware greedy:   {greedy_seeds}")
+    print(f"top-{K} seeds, naive per-node ranking: {naive_seeds}")
+    print(
+        f"combined audience — greedy: {oracle.spread(greedy_seeds):.0f}, "
+        f"naive: {oracle.spread(naive_seeds):.0f} "
+        "(greedy never loses: it removes overlapping audiences)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""How the time window changes who is influential.
+
+The paper's closing finding (Table 5): the top-k seed sets at different
+window lengths barely overlap — influence is a *function of the time
+scale*.  A marketing campaign with a one-day relevance horizon should not
+be seeded like one with a one-month horizon.
+
+This example sweeps the window on a forum-style log and reports, per
+window: the top seeds, their overlap with the previous window's seeds, and
+the TCIC spread the seeds achieve at their own window.
+
+Run:  python examples/window_sensitivity.py
+"""
+
+from repro import ApproxInfluenceOracle, ApproxIRS, estimate_spread, greedy_top_k
+from repro.analysis.metrics import seed_overlap
+from repro.datasets import forum_network
+
+K = 10
+WINDOW_PERCENTS = (1, 5, 10, 20, 50)
+
+
+def main() -> None:
+    log = forum_network(
+        num_nodes=400,
+        num_interactions=8_000,
+        time_span=9_780,
+        rng=7,
+    )
+    print(
+        f"forum log: {log.num_nodes} users, {log.num_interactions} replies, "
+        f"span {log.time_span} ticks\n"
+    )
+
+    previous_seeds = None
+    header = f"{'window':>8}  {'ticks':>6}  {'overlap w/ prev':>15}  {'TCIC spread':>11}  top-5 seeds"
+    print(header)
+    print("-" * len(header))
+    for percent in WINDOW_PERCENTS:
+        window = log.window_from_percent(percent)
+        index = ApproxIRS.from_log(log, window, precision=9)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        seeds = greedy_top_k(oracle, K)
+        spread = estimate_spread(log, seeds, window, 0.5, runs=10, rng=3)
+        overlap = "-" if previous_seeds is None else str(
+            seed_overlap(seeds, previous_seeds)
+        )
+        print(
+            f"{percent:>7}%  {window:>6}  {overlap:>15}  {spread.mean:>11.1f}  "
+            f"{seeds[:5]}"
+        )
+        previous_seeds = seeds
+
+    print(
+        "\nSmall windows pick rapid-fire conversation starters; large windows"
+        "\nconverge to the static-graph hubs — matching the paper's Table 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of *Information Propagation in Interaction
+Networks* (Rohit Kumar & Toon Calders, EDBT 2017).
+
+The library studies potential information flow in **interaction networks**
+(timestamped directed edges) through **information channels** — time-
+respecting paths of bounded duration ω.  It provides:
+
+* :mod:`repro.core` — the exact and sketch-based one-pass algorithms that
+  compute every node's influence reachability set, the influence oracle,
+  and greedy/CELF influence maximization;
+* :mod:`repro.sketch` — HyperLogLog and the paper's versioned HyperLogLog;
+* :mod:`repro.simulation` — the Time-Constrained Information Cascade model
+  used to evaluate seed sets;
+* :mod:`repro.baselines` — SKIM, ConTinEst, PageRank and degree heuristics;
+* :mod:`repro.datasets` — synthetic analogues of the paper's six datasets;
+* :mod:`repro.analysis` — the experiment harness behind every table and
+  figure of the paper (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import InteractionLog, ExactIRS, greedy_top_k
+    from repro.core.oracle import ExactInfluenceOracle
+
+    log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("a", "c", 5)])
+    index = ExactIRS.from_log(log, window=3)
+    print(index.reachability_set("a"))            # {'b', 'c'}
+    oracle = ExactInfluenceOracle.from_index(index)
+    print(greedy_top_k(oracle, k=1))              # ['a']
+"""
+
+from repro.core import (
+    ApproxInfluenceOracle,
+    ApproxIRS,
+    ExactInfluenceOracle,
+    ExactIRS,
+    Interaction,
+    InteractionLog,
+    celf_top_k,
+    greedy_top_k,
+    top_k_by_influence,
+)
+from repro.simulation import estimate_spread, run_tcic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interaction",
+    "InteractionLog",
+    "ExactIRS",
+    "ApproxIRS",
+    "ExactInfluenceOracle",
+    "ApproxInfluenceOracle",
+    "greedy_top_k",
+    "celf_top_k",
+    "top_k_by_influence",
+    "run_tcic",
+    "estimate_spread",
+    "__version__",
+]

@@ -1,0 +1,393 @@
+"""The experiment harness — one function per paper table / figure.
+
+Every function returns a list of plain dict rows (render with
+:func:`repro.analysis.metrics.format_table`), so the benchmark scripts under
+``benchmarks/`` are thin wrappers that choose sizes, call one function here
+and print the rows next to the paper's reported shape.
+
+Mapping to the paper (see DESIGN.md §4 for the full index):
+
+=====================  ====================================================
+function               reproduces
+=====================  ====================================================
+dataset_characteristics  Table 2 (dataset statistics)
+accuracy_experiment      Table 3 (avg relative IRS-size error vs β and ω)
+memory_experiment        Table 4 (memory at ω ∈ {1, 10, 20}%)
+runtime_experiment       Figure 3 (processing time vs ω)
+oracle_query_experiment  Figure 4 (oracle query time vs seed-set size)
+spread_comparison        Figure 5 (TCIC spread of each method's top-k)
+seed_overlap_experiment  Table 5 (common seeds across window lengths)
+seed_time_experiment     Table 6 (time to find the top-50 seeds)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.memory import accounted_bytes, megabytes
+from repro.analysis.metrics import average_relative_error, seed_overlap
+from repro.baselines.continest import continest_top_k
+from repro.baselines.degree import (
+    degree_discount_top_k,
+    high_degree_top_k,
+    smart_high_degree_top_k,
+)
+from repro.baselines.ic_greedy import ic_greedy_top_k
+from repro.baselines.pagerank import pagerank_top_k
+from repro.baselines.skim import skim_top_k
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+from repro.core.maximization import greedy_top_k
+from repro.core.oracle import ApproxInfluenceOracle, ExactInfluenceOracle
+from repro.datasets.catalog import dataset_names, load_dataset
+from repro.simulation.spread import estimate_spread
+from repro.utils.rng import RngLike, resolve_rng, spawn_rng
+from repro.utils.validation import require_type
+
+__all__ = [
+    "ALL_METHODS",
+    "select_seeds",
+    "dataset_characteristics",
+    "accuracy_experiment",
+    "memory_experiment",
+    "runtime_experiment",
+    "oracle_query_experiment",
+    "spread_comparison",
+    "seed_overlap_experiment",
+    "seed_time_experiment",
+]
+
+Node = Hashable
+
+ALL_METHODS = ("PR", "HD", "SHD", "SKIM", "CTE", "IRS", "IRS-approx")
+"""The seven competitors of paper Figure 5 / Table 6."""
+
+EXTRA_METHODS = ("DD", "ICG")
+"""Classical baselines beyond the paper's panel: DegreeDiscount (ref [4])
+and Kempe-style Monte-Carlo IC greedy (refs [13]/[17]).  Accepted by
+:func:`select_seeds` but not part of the default comparison (ICG in
+particular is orders of magnitude slower, which is rather the point)."""
+
+
+# ---------------------------------------------------------------------------
+# Seed selection dispatcher
+# ---------------------------------------------------------------------------
+def select_seeds(
+    log: InteractionLog,
+    method: str,
+    k: int,
+    window: int,
+    precision: int = 9,
+    rng: RngLike = 0,
+) -> List[Node]:
+    """Top-``k`` seeds of ``log`` according to ``method``.
+
+    ``method`` is one of :data:`ALL_METHODS`.  ``window`` (ω in ticks) is
+    used by the IRS methods and as ConTinEst's horizon; the static methods
+    ignore it, exactly as in the paper.
+    """
+    require_type(log, "log", InteractionLog)
+    if method == "PR":
+        return pagerank_top_k(log, k)
+    if method == "HD":
+        return high_degree_top_k(log, k)
+    if method == "SHD":
+        return smart_high_degree_top_k(log, k)
+    if method == "SKIM":
+        return skim_top_k(log, k, rng=rng)
+    if method == "CTE":
+        return continest_top_k(log, k, horizon=max(window, 1), rng=rng)
+    if method == "IRS":
+        oracle = ExactInfluenceOracle.from_index(ExactIRS.from_log(log, window))
+        return greedy_top_k(oracle, k)
+    if method == "IRS-approx":
+        index = ApproxIRS.from_log(log, window, precision=precision)
+        return greedy_top_k(ApproxInfluenceOracle.from_index(index), k)
+    if method == "DD":
+        return degree_discount_top_k(log, k)
+    if method == "ICG":
+        return ic_greedy_top_k(log, k, probability=0.1, runs=20, rng=rng)
+    raise ValueError(
+        f"unknown method {method!r}; known: {ALL_METHODS + EXTRA_METHODS}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+def dataset_characteristics(
+    names: Optional[Sequence[str]] = None,
+    rng: RngLike = 0,
+    scale: float = 1.0,
+) -> List[Dict[str, object]]:
+    """Table 2: |V|, |E| and day span of every (simulated) dataset."""
+    rows = []
+    for name in names if names is not None else dataset_names():
+        log = load_dataset(name, rng=rng, scale=scale)
+        rows.append(
+            {
+                "dataset": name,
+                "nodes": log.num_nodes,
+                "interactions": log.num_interactions,
+                "span_ticks": log.time_span,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+def accuracy_experiment(
+    log: InteractionLog,
+    dataset: str = "",
+    betas: Sequence[int] = (16, 32, 64, 128, 256, 512),
+    window_percents: Sequence[float] = (1, 10, 20),
+    salt: int = 0,
+) -> List[Dict[str, object]]:
+    """Table 3: average relative IRS-size error per β and window length.
+
+    Builds one exact index per window (the expensive part) and one
+    approximate index per (β, window) pair, then compares sizes node by
+    node via :func:`~repro.analysis.metrics.average_relative_error`.
+    """
+    require_type(log, "log", InteractionLog)
+    rows = []
+    for percent in window_percents:
+        window = log.window_from_percent(percent)
+        exact_sizes = ExactIRS.from_log(log, window).irs_sizes()
+        for beta in betas:
+            precision = _precision_for(beta)
+            approx = ApproxIRS.from_log(log, window, precision=precision, salt=salt)
+            error = average_relative_error(exact_sizes, approx.irs_estimates())
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "beta": beta,
+                    "window_pct": percent,
+                    "avg_rel_error": error,
+                }
+            )
+    return rows
+
+
+def _precision_for(beta: int) -> int:
+    if beta <= 0 or beta & (beta - 1) != 0:
+        raise ValueError(f"beta must be a positive power of two, got {beta}")
+    return beta.bit_length() - 1
+
+
+# ---------------------------------------------------------------------------
+# Table 4
+# ---------------------------------------------------------------------------
+def memory_experiment(
+    logs: Mapping[str, InteractionLog],
+    window_percents: Sequence[float] = (1, 10, 20),
+    precision: int = 9,
+) -> List[Dict[str, object]]:
+    """Table 4: accounted sketch memory per dataset and window length."""
+    rows = []
+    for name, log in logs.items():
+        row: Dict[str, object] = {"dataset": name}
+        for percent in window_percents:
+            window = log.window_from_percent(percent)
+            index = ApproxIRS.from_log(log, window, precision=precision)
+            row[f"mb_at_{percent:g}pct"] = megabytes(accounted_bytes(index))
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+def runtime_experiment(
+    logs: Mapping[str, InteractionLog],
+    window_percents: Sequence[float] = (1, 5, 10, 20, 40, 60, 80, 100),
+    precision: int = 9,
+) -> List[Dict[str, object]]:
+    """Figure 3: one-pass processing time of the approximate algorithm as a
+    function of the window length."""
+    rows = []
+    for name, log in logs.items():
+        for percent in window_percents:
+            window = log.window_from_percent(percent)
+            start = time.perf_counter()
+            ApproxIRS.from_log(log, window, precision=precision)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "dataset": name,
+                    "window_pct": percent,
+                    "seconds": elapsed,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+def oracle_query_experiment(
+    log: InteractionLog,
+    dataset: str = "",
+    seed_counts: Sequence[int] = (10, 100, 1_000, 5_000, 10_000),
+    window_percent: float = 20,
+    precision: int = 9,
+    repetitions: int = 5,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Figure 4: influence-oracle query time vs seed-set size.
+
+    Seeds are sampled uniformly (with replacement past the node count, as
+    the paper's 10 000-seed queries on smaller graphs imply); each query is
+    repeated and averaged.
+    """
+    require_type(log, "log", InteractionLog)
+    generator = resolve_rng(rng)
+    window = log.window_from_percent(window_percent)
+    oracle = ApproxInfluenceOracle.from_index(
+        ApproxIRS.from_log(log, window, precision=precision)
+    )
+    nodes = sorted(log.nodes, key=repr)
+    rows = []
+    for count in seed_counts:
+        seeds = [nodes[generator.randrange(len(nodes))] for _ in range(count)]
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            oracle.spread(seeds)
+        elapsed = (time.perf_counter() - start) / repetitions
+        rows.append(
+            {
+                "dataset": dataset,
+                "num_seeds": count,
+                "milliseconds": elapsed * 1_000.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+def spread_comparison(
+    log: InteractionLog,
+    dataset: str = "",
+    ks: Sequence[int] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50),
+    window_percents: Sequence[float] = (1, 20),
+    probabilities: Sequence[float] = (0.5, 1.0),
+    methods: Sequence[str] = ALL_METHODS,
+    runs: int = 5,
+    precision: int = 9,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Figure 5: simulated TCIC spread of every method's top-k seeds.
+
+    Greedy selectors produce *nested* seed lists, so each method selects
+    ``max(ks)`` seeds once and the spread of every prefix is simulated —
+    exactly how the paper's curves are drawn.
+    """
+    require_type(log, "log", InteractionLog)
+    generator = resolve_rng(rng)
+    k_max = max(ks)
+    rows = []
+    for percent in window_percents:
+        window = log.window_from_percent(percent)
+        for stream, method in enumerate(methods):
+            seeds = select_seeds(
+                log,
+                method,
+                k_max,
+                window,
+                precision=precision,
+                rng=spawn_rng(generator, stream),
+            )
+            for probability in probabilities:
+                for k in ks:
+                    estimate = estimate_spread(
+                        log,
+                        seeds[:k],
+                        window,
+                        probability,
+                        runs=runs,
+                        rng=spawn_rng(generator, 7_000 + stream * 101 + k),
+                    )
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "window_pct": percent,
+                            "probability": probability,
+                            "method": method,
+                            "k": k,
+                            "spread": estimate.mean,
+                        }
+                    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 5
+# ---------------------------------------------------------------------------
+def seed_overlap_experiment(
+    logs: Mapping[str, InteractionLog],
+    window_percents: Sequence[float] = (1, 10, 20),
+    k: int = 10,
+    precision: int = 9,
+) -> List[Dict[str, object]]:
+    """Table 5: common seeds among the top-k found at different windows."""
+    rows = []
+    for name, log in logs.items():
+        seeds_by_window = {}
+        for percent in window_percents:
+            window = log.window_from_percent(percent)
+            index = ApproxIRS.from_log(log, window, precision=precision)
+            oracle = ApproxInfluenceOracle.from_index(index)
+            seeds_by_window[percent] = greedy_top_k(oracle, k)
+        row: Dict[str, object] = {"dataset": name}
+        percents = list(window_percents)
+        for i, first in enumerate(percents):
+            for second in percents[i + 1 :]:
+                row[f"common_{first:g}pct_{second:g}pct"] = seed_overlap(
+                    seeds_by_window[first], seeds_by_window[second]
+                )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 6
+# ---------------------------------------------------------------------------
+def seed_time_experiment(
+    logs: Mapping[str, InteractionLog],
+    k: int = 50,
+    window_percent: float = 1,
+    methods: Sequence[str] = ALL_METHODS,
+    precision: int = 9,
+    rng: RngLike = 0,
+) -> List[Dict[str, object]]:
+    """Table 6: wall-clock seconds to find the top-``k`` seeds per method.
+
+    For the IRS methods the timing *includes* the one-pass index
+    construction (the paper's Table 6 does the same — its IRS column grows
+    with the interaction count, not the node count).
+    """
+    generator = resolve_rng(rng)
+    rows = []
+    for name, log in logs.items():
+        row: Dict[str, object] = {"dataset": name}
+        window = log.window_from_percent(window_percent)
+        for stream, method in enumerate(methods):
+            start = time.perf_counter()
+            select_seeds(
+                log,
+                method,
+                k,
+                window,
+                precision=precision,
+                rng=spawn_rng(generator, stream),
+            )
+            row[method] = time.perf_counter() - start
+        rows.append(row)
+    return rows

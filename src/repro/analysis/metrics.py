@@ -1,0 +1,120 @@
+"""Metrics shared by the experiment harness and the test-suite.
+
+Small, dependency-free implementations of the quantities the paper reports:
+average relative estimation error (Table 3), seed-set overlap counts
+(Table 5), and generic summary statistics for timing/spread series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "relative_error",
+    "average_relative_error",
+    "seed_overlap",
+    "jaccard",
+    "SummaryStats",
+    "summarize",
+    "format_table",
+]
+
+Node = Hashable
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """``|estimate − true| / true``; true must be non-zero."""
+    if true_value == 0:
+        raise ValueError("relative error undefined for a zero true value")
+    return abs(estimate - true_value) / abs(true_value)
+
+
+def average_relative_error(
+    true_values: Mapping[Node, float],
+    estimates: Mapping[Node, float],
+) -> float:
+    """Mean relative error over keys with non-zero true value.
+
+    This is the paper's Table 3 metric: "the average relative error in the
+    estimation of the IRS size for all the nodes".  Nodes with an empty IRS
+    are skipped (their relative error is undefined; both algorithms agree
+    on them anyway because an empty sketch estimates exactly zero).
+    """
+    errors = []
+    for key, true_value in true_values.items():
+        if true_value == 0:
+            continue
+        errors.append(relative_error(true_value, estimates.get(key, 0.0)))
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def seed_overlap(first: Iterable[Node], second: Iterable[Node]) -> int:
+    """Number of common elements — the paper's Table 5 statistic."""
+    return len(set(first) & set(second))
+
+
+def jaccard(first: Iterable[Node], second: Iterable[Node]) -> float:
+    """Jaccard similarity of two seed sets."""
+    a, b = set(first), set(second)
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / std / extremes of a numeric series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of ``values`` (sample standard deviation)."""
+    if not values:
+        raise ValueError("values must not be empty")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return SummaryStats(
+        count=n, mean=mean, std=std, minimum=min(values), maximum=max(values)
+    )
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as a fixed-width text table (benchmark output)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0])
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

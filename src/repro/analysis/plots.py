@@ -1,0 +1,110 @@
+"""Text-mode chart rendering for the figure reproductions.
+
+The paper's Figures 3–5 are line charts.  The benchmark harness runs in a
+terminal with no display, so this module renders series as fixed-width
+ASCII line charts — enough to eyeball the *shape* (who is on top, where
+curves flatten, where they cross) that EXPERIMENTS.md compares against the
+paper.  No third-party plotting dependency is required anywhere in the
+repository.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart", "series_from_rows"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    series: str,
+    where: Optional[Mapping[str, object]] = None,
+) -> Dict[str, list]:
+    """Group benchmark rows into ``{series label: [(x, y), …]}``.
+
+    ``where`` filters rows by exact column matches first — e.g.
+    ``{"dataset": "lkml-sim", "probability": 1.0}`` selects one panel of
+    Figure 5.
+    """
+    grouped: Dict[str, list] = {}
+    for row in rows:
+        if where and any(row.get(k) != v for k, v in where.items()):
+            continue
+        label = str(row[series])
+        grouped.setdefault(label, []).append((float(row[x]), float(row[y])))  # type: ignore[arg-type]
+    for points in grouped.values():
+        points.sort()
+    return grouped
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render ``{label: [(x, y), …]}`` as an ASCII line chart.
+
+    Each series gets a marker character; the legend maps markers to labels.
+    ``log_y`` plots log10(y) (Figure 3 in the paper is log-scale).
+    """
+    if not series:
+        return f"{title}\n(no series)" if title else "(no series)"
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        return f"{title}\n(no points)" if title else "(no points)"
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(y) if y > 0 else math.log10(1e-6)
+
+    xs = [x for x, _ in points]
+    ys = [transform(y) for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_range = x_high - x_low or 1.0
+    y_range = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            column = round((x - x_low) / x_range * (width - 1))
+            row = round((transform(y) - y_low) / y_range * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    y_label_high = f"{y_high:.3g}" + ("(log10)" if log_y else "")
+    y_label_low = f"{y_low:.3g}"
+    gutter = max(len(y_label_high), len(y_label_low)) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_label_high
+        elif row_index == height - 1:
+            label = y_label_low
+        else:
+            label = ""
+        lines.append(label.rjust(gutter) + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]}={label}"
+        for index, label in enumerate(sorted(series))
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Competitor methods the paper compares against (§6): SKIM, ConTinEst,
+PageRank, HighDegree and SmartHighDegree, plus the shared static-graph
+flattening they consume."""
+
+from repro.baselines.continest import ContinEstEstimator, continest_top_k
+from repro.baselines.degree import (
+    degree_discount_top_k,
+    high_degree_top_k,
+    smart_high_degree_top_k,
+)
+from repro.baselines.ic_greedy import (
+    estimate_ic_spread,
+    ic_greedy_top_k,
+    simulate_ic,
+)
+from repro.baselines.pagerank import pagerank, pagerank_top_k
+from repro.baselines.skim import SkimSelector, skim_top_k
+from repro.baselines.static import (
+    StaticGraph,
+    flatten,
+    transmission_weighted_graph,
+)
+
+__all__ = [
+    "StaticGraph",
+    "flatten",
+    "transmission_weighted_graph",
+    "pagerank",
+    "pagerank_top_k",
+    "high_degree_top_k",
+    "smart_high_degree_top_k",
+    "degree_discount_top_k",
+    "simulate_ic",
+    "estimate_ic_spread",
+    "ic_greedy_top_k",
+    "SkimSelector",
+    "skim_top_k",
+    "ContinEstEstimator",
+    "continest_top_k",
+]

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the typical workflow end to end:
+
+* ``generate`` — materialise a catalog dataset (or a generator) to an
+  edge-list file;
+* ``stats``    — basic statistics of an interaction log;
+* ``topk``     — top-k influencers by IRS greedy (exact or sketch), or by
+  one of the baselines;
+* ``spread``   — expected TCIC spread of a given seed set;
+* ``explain``  — reconstruct the information channel behind an influence
+  claim ("how could u have influenced v within ω?");
+* ``report``   — regenerate the full experiment report (markdown) at a
+  chosen scale.
+
+Every command reads/writes the whitespace ``source target time`` edge-list
+format of :meth:`repro.core.interactions.InteractionLog.read`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import ALL_METHODS, select_seeds
+from repro.core.interactions import InteractionLog
+from repro.datasets.catalog import dataset_names, load_dataset
+from repro.simulation.spread import estimate_spread
+
+__all__ = ["main", "build_parser"]
+
+_METHOD_ALIASES = {
+    "irs": "IRS",
+    "irs-approx": "IRS-approx",
+    "pagerank": "PR",
+    "pr": "PR",
+    "hd": "HD",
+    "high-degree": "HD",
+    "shd": "SHD",
+    "smart-high-degree": "SHD",
+    "skim": "SKIM",
+    "cte": "CTE",
+    "continest": "CTE",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Influence analysis on interaction networks "
+        "(Kumar & Calders, EDBT 2017 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic catalog dataset to an edge list"
+    )
+    generate.add_argument(
+        "--dataset", required=True, choices=dataset_names(), help="catalog name"
+    )
+    generate.add_argument("--scale", type=float, default=1.0, help="size multiplier")
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--output", "-o", required=True, help="edge-list file to write"
+    )
+
+    stats = commands.add_parser("stats", help="summarise an interaction log")
+    stats.add_argument("log", help="edge-list file (source target time per line)")
+
+    topk = commands.add_parser("topk", help="find the top-k influencers")
+    topk.add_argument("log", help="edge-list file")
+    topk.add_argument("--k", type=int, default=10, help="number of seeds")
+    topk.add_argument(
+        "--window-percent",
+        type=float,
+        default=10.0,
+        help="omega as %% of the log's time span",
+    )
+    topk.add_argument(
+        "--method",
+        default="irs-approx",
+        choices=sorted(_METHOD_ALIASES),
+        help="selection method",
+    )
+    topk.add_argument(
+        "--precision", type=int, default=9, help="sketch index bits (beta = 2^p)"
+    )
+    topk.add_argument("--seed", type=int, default=0, help="rng seed for randomised methods")
+
+    spread = commands.add_parser(
+        "spread", help="expected TCIC spread of a seed set"
+    )
+    spread.add_argument("log", help="edge-list file")
+    spread.add_argument(
+        "--seeds", required=True, help="comma-separated seed node names"
+    )
+    spread.add_argument(
+        "--window-percent", type=float, default=10.0, help="omega as %% of span"
+    )
+    spread.add_argument(
+        "--probability", type=float, default=0.5, help="infection probability"
+    )
+    spread.add_argument("--runs", type=int, default=20, help="Monte-Carlo cascades")
+    spread.add_argument("--seed", type=int, default=0, help="rng seed")
+
+    explain = commands.add_parser(
+        "explain", help="show a witness channel between two nodes"
+    )
+    explain.add_argument("log", help="edge-list file")
+    explain.add_argument("--source", required=True, help="influencing node")
+    explain.add_argument("--target", required=True, help="influenced node")
+    explain.add_argument(
+        "--window-percent", type=float, default=10.0, help="omega as %% of span"
+    )
+
+    report = commands.add_parser(
+        "report", help="regenerate the experiment report (markdown)"
+    )
+    report.add_argument(
+        "--scale", type=float, default=0.2, help="catalog size multiplier"
+    )
+    report.add_argument("--seed", type=int, default=1, help="generator seed")
+    report.add_argument(
+        "--sections",
+        default="",
+        help="comma-separated subset of sections (default: all)",
+    )
+    report.add_argument(
+        "--output", "-o", default="", help="write to this file instead of stdout"
+    )
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace, out) -> int:
+    log = load_dataset(args.dataset, rng=args.seed, scale=args.scale)
+    log.write(args.output)
+    print(
+        f"wrote {log.num_interactions} interactions over {log.num_nodes} nodes "
+        f"to {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace, out) -> int:
+    log = InteractionLog.read(args.log)
+    print(f"nodes:         {log.num_nodes}", file=out)
+    print(f"interactions:  {log.num_interactions}", file=out)
+    print(f"time span:     {log.time_span} ticks "
+          f"[{log.min_time} .. {log.max_time}]", file=out)
+    print(f"static edges:  {len(log.static_edges())}", file=out)
+    print(f"distinct times: {'yes' if log.has_distinct_times() else 'no'}", file=out)
+    return 0
+
+
+def _command_topk(args: argparse.Namespace, out) -> int:
+    log = InteractionLog.read(args.log)
+    window = log.window_from_percent(args.window_percent)
+    method = _METHOD_ALIASES[args.method]
+    seeds = select_seeds(
+        log, method, args.k, window, precision=args.precision, rng=args.seed
+    )
+    print(
+        f"top-{args.k} seeds by {method} "
+        f"(omega = {args.window_percent:g}% = {window} ticks):",
+        file=out,
+    )
+    for rank, seed in enumerate(seeds, start=1):
+        print(f"  {rank:2d}. {seed}", file=out)
+    return 0
+
+
+def _command_spread(args: argparse.Namespace, out) -> int:
+    log = InteractionLog.read(args.log)
+    window = log.window_from_percent(args.window_percent)
+    seeds = [token for token in args.seeds.split(",") if token]
+    unknown = [seed for seed in seeds if seed not in log.nodes]
+    if unknown:
+        print(f"warning: seeds not in the log: {unknown}", file=sys.stderr)
+    estimate = estimate_spread(
+        log,
+        seeds,
+        window,
+        args.probability,
+        runs=args.runs,
+        rng=args.seed,
+    )
+    print(
+        f"expected spread of {len(seeds)} seeds at omega = "
+        f"{args.window_percent:g}% (= {window} ticks), p = {args.probability:g}: "
+        f"{estimate.mean:.1f} ± {estimate.stderr:.1f} "
+        f"({estimate.runs} cascades)",
+        file=out,
+    )
+    return 0
+
+
+def _command_explain(args: argparse.Namespace, out) -> int:
+    from repro.core.witnesses import explain_influence
+
+    log = InteractionLog.read(args.log)
+    window = log.window_from_percent(args.window_percent)
+    print(explain_influence(log, args.source, args.target, window), file=out)
+    return 0
+
+
+def _command_report(args: argparse.Namespace, out) -> int:
+    from repro.analysis.report import generate_report
+
+    sections = tuple(s for s in args.sections.split(",") if s) or None
+    rendered = generate_report(scale=args.scale, seed=args.seed, sections=sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote report to {args.output}", file=out)
+    else:
+        print(rendered, file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    output = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "stats": _command_stats,
+        "topk": _command_topk,
+        "spread": _command_spread,
+        "explain": _command_explain,
+        "report": _command_report,
+    }
+    try:
+        return handlers[args.command](args, output)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

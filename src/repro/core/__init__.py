@@ -1,0 +1,78 @@
+"""The paper's primary contribution: information channels, IRS indexes,
+influence oracles, and greedy influence maximization."""
+
+from repro.core.approx import ApproxIRS
+from repro.core.approx_bottomk import BottomKIRS
+from repro.core.channels import (
+    all_reachability_sets,
+    all_reachability_summaries,
+    channel_duration,
+    channel_end,
+    enumerate_channels,
+    fastest_channel_duration,
+    has_channel,
+    reachability_set,
+    reachability_summary,
+)
+from repro.core.exact import ExactIRS
+from repro.core.interactions import Interaction, InteractionLog
+from repro.core.maximization import (
+    celf_top_k,
+    greedy_top_k,
+    spread_trajectory,
+    top_k_by_influence,
+)
+from repro.core.oracle import (
+    ApproxInfluenceOracle,
+    ExactInfluenceOracle,
+    InfluenceOracle,
+)
+from repro.core.multiwindow import MultiWindowIRS
+from repro.core.streaming import (
+    StreamingExactIndex,
+    StreamingSketchIndex,
+    influencers_of,
+)
+from repro.core.summary import IRSSummary
+from repro.core.witnesses import explain_influence, find_channel
+from repro.core.temporal_paths import (
+    earliest_arrival_times,
+    fastest_path_durations,
+    latest_departure_times,
+    shortest_path_hops,
+)
+
+__all__ = [
+    "Interaction",
+    "InteractionLog",
+    "IRSSummary",
+    "ExactIRS",
+    "ApproxIRS",
+    "BottomKIRS",
+    "MultiWindowIRS",
+    "StreamingExactIndex",
+    "StreamingSketchIndex",
+    "influencers_of",
+    "InfluenceOracle",
+    "ExactInfluenceOracle",
+    "ApproxInfluenceOracle",
+    "greedy_top_k",
+    "celf_top_k",
+    "top_k_by_influence",
+    "spread_trajectory",
+    "reachability_set",
+    "reachability_summary",
+    "all_reachability_sets",
+    "all_reachability_summaries",
+    "enumerate_channels",
+    "channel_duration",
+    "channel_end",
+    "has_channel",
+    "fastest_channel_duration",
+    "earliest_arrival_times",
+    "latest_departure_times",
+    "fastest_path_durations",
+    "shortest_path_hops",
+    "find_channel",
+    "explain_influence",
+]

@@ -1,0 +1,189 @@
+"""The exact one-pass IRS algorithm (paper §3.1, Algorithm 2).
+
+The algorithm scans the interaction log **in reverse chronological order**.
+By Lemma 1, adding an interaction ``(u, v, t)`` whose time stamp precedes
+everything processed so far can only change the summary of ``u``; the update
+rule (Lemma 2) is::
+
+    ϕ'(u) = ↓( {(v, t)} ∪ ϕ(u) ∪ {(z, t') ∈ ϕ(v) | t' − t + 1 ≤ ω} )
+
+i.e. add the direct hop, then fold in every channel of ``v`` that still fits
+the duration budget when prepended with the new edge; ``↓`` keeps, per
+target, only the minimal end time.
+
+Worst-case cost is O(m·n) time and O(n²) space (Lemma 3) — the price of
+exactness that motivates the sketch-based variant in
+:mod:`repro.core.approx`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.core.interactions import InteractionLog
+from repro.core.summary import IRSSummary
+from repro.utils.validation import require_non_negative, require_type
+
+__all__ = ["ExactIRS"]
+
+Node = Hashable
+
+
+class ExactIRS:
+    """Exact influence-reachability-set index over an interaction log.
+
+    Build it in one call::
+
+        index = ExactIRS.from_log(log, window=omega)
+
+    or incrementally by feeding interactions in reverse chronological order
+    through :meth:`process` — the paper's "one-pass but not streaming" mode,
+    where each processed interaction must be older than all previous ones.
+
+    Parameters
+    ----------
+    window:
+        Maximum channel duration ω, in time ticks.
+    """
+
+    def __init__(self, window: int) -> None:
+        if not isinstance(window, int) or isinstance(window, bool):
+            raise TypeError("window must be an int")
+        require_non_negative(window, "window")
+        self._window = window
+        self._summaries: Dict[Node, IRSSummary] = {}
+        self._last_time: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_log(cls, log: InteractionLog, window: int) -> "ExactIRS":
+        """Build the full index with one reverse pass over ``log``.
+
+        The paper assumes distinct time stamps (§2); real logs often have
+        ties, so this constructor handles them soundly: interactions sharing
+        a time stamp are processed as a *batch* against a snapshot of the
+        pre-batch summaries — two tied interactions can never chain into one
+        channel (Definition 1 requires strictly increasing times), and the
+        snapshot guarantees they cannot contaminate each other's merges.
+        """
+        require_type(log, "log", InteractionLog)
+        index = cls(window)
+        batch: list = []
+        for record in log.reverse_time_order():
+            if batch and record.time != batch[0].time:
+                index._process_batch(batch)
+                batch = []
+            batch.append(record)
+        if batch:
+            index._process_batch(batch)
+        # Every node should answer queries, including pure sinks.
+        for node in log.nodes:
+            index._summaries.setdefault(node, IRSSummary())
+        return index
+
+    def _process_batch(self, records: list) -> None:
+        """Process interactions sharing one time stamp (see from_log)."""
+        if len(records) == 1:
+            record = records[0]
+            self.process(record.source, record.target, record.time)
+            return
+        snapshots: Dict[Node, Optional[IRSSummary]] = {}
+        for record in records:
+            if record.target not in snapshots:
+                existing = self._summaries.get(record.target)
+                snapshots[record.target] = existing.copy() if existing else None
+        for record in records:
+            self._apply(
+                record.source, record.target, record.time, snapshots[record.target]
+            )
+        self._last_time = records[0].time
+
+    def process(self, source: Node, target: Node, time: int) -> None:
+        """Process one interaction; times must be strictly decreasing.
+
+        Implements the body of Algorithm 2:
+        ``Add(ϕ(u), (v, t)); Merge(ϕ(u), ϕ(v), t, ω)``.  Feeding two
+        interactions with equal stamps through this incremental API is
+        rejected — their merges would wrongly chain tied edges; use
+        :meth:`from_log`, which batches ties correctly.
+        """
+        if isinstance(time, bool) or not isinstance(time, int):
+            raise TypeError(f"time must be an int, got {time!r}")
+        if self._last_time is not None and time >= self._last_time:
+            raise ValueError(
+                f"interactions must be processed in strictly decreasing time "
+                f"order: got t={time} after t={self._last_time} "
+                "(use from_log for logs with tied time stamps)"
+            )
+        self._last_time = time
+        self._apply(source, target, time, self._summaries.get(target))
+
+    def _apply(
+        self,
+        source: Node,
+        target: Node,
+        time: int,
+        target_summary: Optional[IRSSummary],
+    ) -> None:
+        if source == target or self._window == 0:
+            # Self-loops carry no influence; with ω = 0 even a single edge
+            # (duration 1) exceeds the budget.
+            self._summaries.setdefault(source, IRSSummary())
+            self._summaries.setdefault(target, IRSSummary())
+            return
+        summary = self._summaries.get(source)
+        if summary is None:
+            summary = IRSSummary()
+            self._summaries[source] = summary
+        summary.add(target, time)
+        if target_summary is not None and len(target_summary) > 0:
+            summary.merge_within(target_summary, time, self._window, skip=source)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> int:
+        """The duration budget ω this index was built with."""
+        return self._window
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """All nodes with a (possibly empty) summary."""
+        return self._summaries.keys()
+
+    def summary(self, node: Node) -> IRSSummary:
+        """``ϕω(node)``; an empty summary for unknown nodes."""
+        found = self._summaries.get(node)
+        return found if found is not None else IRSSummary()
+
+    def reachability_set(self, node: Node) -> set[Node]:
+        """``σω(node)`` as a concrete set."""
+        return set(self.summary(node).nodes())
+
+    def irs_size(self, node: Node) -> int:
+        """``|σω(node)|``."""
+        return len(self.summary(node))
+
+    def irs_sizes(self) -> Dict[Node, int]:
+        """``|σω(u)|`` for every node of the index."""
+        return {node: len(summary) for node, summary in self._summaries.items()}
+
+    def spread(self, seeds: Iterable[Node]) -> int:
+        """``|⋃_{u ∈ seeds} σω(u)|`` — the exact influence-oracle answer."""
+        covered: set[Node] = set()
+        for seed in seeds:
+            covered.update(self.summary(seed).nodes())
+        return len(covered)
+
+    def entry_count(self) -> int:
+        """Total number of ``(node, λ)`` pairs stored — the O(n²) quantity."""
+        return sum(len(summary) for summary in self._summaries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExactIRS(window={self._window}, nodes={len(self._summaries)}, "
+            f"entries={self.entry_count()})"
+        )

@@ -1,0 +1,241 @@
+"""Multi-window IRS index: one pass, every window (extension).
+
+The paper's indexes fix the duration budget ω up front; asking about a new
+ω means another pass over the log (its Table 5 builds one index per window
+to compare seed sets).  This module removes that restriction: one reverse
+pass builds, per node pair, the **Pareto frontier of channels** — the set
+of ``(start, end)`` pairs not dominated by a channel that starts later
+*and* ends earlier.  Any window query then reduces to a frontier lookup:
+
+* ``v ∈ σω(u)``  ⇔  some frontier entry has ``end − start + 1 ≤ ω``;
+* the fastest channel duration (the smallest such ω) is the frontier's
+  minimal duration;
+* ``λω(u, v)`` is the earliest ``end`` among entries within the budget.
+
+Why one pass suffices: scanning in reverse time order, every *new* channel
+of ``u`` begins with the interaction being processed, so its start time
+``t`` is strictly smaller than every start already recorded anywhere.  A
+new ``(t, end)`` entry therefore enters ``u``'s frontier for target ``z``
+iff ``end`` is strictly smaller than the frontier's current minimal end —
+frontiers grow only at the low-start/low-end corner, and each per-pair
+frontier is a list with both coordinates strictly decreasing.
+
+Cost: worst case O(n²·F) space where F is the frontier length — strictly
+more than :class:`~repro.core.exact.ExactIRS` (which is the special case
+that keeps only the minimal-end entry).  The index answers *all* windows,
+so it replaces W single-window builds at roughly the cost of the longest.
+
+The merge rule mirrors Lemma 2: prepending ``(u, v, t)`` to a channel of
+``v`` with frontier entry ``(s', e')`` requires ``s' > t`` (automatic) and
+yields the channel ``(t, e')`` — no duration filter is applied, because
+*every* duration is now retained for querying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.interactions import InteractionLog
+from repro.utils.validation import require_non_negative, require_type
+
+__all__ = ["MultiWindowIRS"]
+
+Node = Hashable
+
+
+class MultiWindowIRS:
+    """Window-free influence reachability index.
+
+    Build once::
+
+        index = MultiWindowIRS.from_log(log)
+
+    then query any window::
+
+        index.reachability_set("a", window=3)
+        index.fastest_duration("a", "c")
+        index.irs_size("a", window=10)
+
+    Notes
+    -----
+    Like :class:`~repro.core.exact.ExactIRS`, ties in the input are handled
+    by batching equal-stamp interactions against pre-batch snapshots, and
+    channels looping back to their start node are excluded.
+    """
+
+    def __init__(self) -> None:
+        # _frontiers[u][v]: list of (start, end), both strictly decreasing.
+        self._frontiers: Dict[Node, Dict[Node, List[Tuple[int, int]]]] = {}
+        self._last_time: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_log(cls, log: InteractionLog) -> "MultiWindowIRS":
+        """Build the index with one reverse pass over ``log``."""
+        require_type(log, "log", InteractionLog)
+        index = cls()
+        batch: list = []
+        for record in log.reverse_time_order():
+            if batch and record.time != batch[0].time:
+                index._process_batch(batch)
+                batch = []
+            batch.append(record)
+        if batch:
+            index._process_batch(batch)
+        for node in log.nodes:
+            index._frontiers.setdefault(node, {})
+        return index
+
+    def _process_batch(self, records: list) -> None:
+        snapshots: Dict[Node, Optional[Dict[Node, List[Tuple[int, int]]]]] = {}
+        for record in records:
+            if record.target not in snapshots:
+                existing = self._frontiers.get(record.target)
+                snapshots[record.target] = (
+                    {v: list(entries) for v, entries in existing.items()}
+                    if existing
+                    else None
+                )
+        for record in records:
+            self._apply(
+                record.source, record.target, record.time, snapshots[record.target]
+            )
+        self._last_time = records[0].time
+
+    def _apply(
+        self,
+        source: Node,
+        target: Node,
+        time: int,
+        target_frontier: Optional[Dict[Node, List[Tuple[int, int]]]],
+    ) -> None:
+        if source == target:
+            self._frontiers.setdefault(source, {})
+            self._frontiers.setdefault(target, {})
+            return
+        mine = self._frontiers.setdefault(source, {})
+        self._insert(mine, target, time, time)
+        if target_frontier:
+            for reached, entries in target_frontier.items():
+                if reached == source:
+                    continue
+                # The cheapest extension of any of v's channels to `reached`
+                # is the one with the earliest end; all extensions share the
+                # new start `time`, so only the minimal end matters.
+                best_end = entries[-1][1]
+                self._insert(mine, reached, time, best_end)
+
+    @staticmethod
+    def _insert(
+        frontier: Dict[Node, List[Tuple[int, int]]],
+        target: Node,
+        start: int,
+        end: int,
+    ) -> None:
+        entries = frontier.get(target)
+        if entries is None:
+            frontier[target] = [(start, end)]
+            return
+        last_start, last_end = entries[-1]
+        if start == last_start:
+            # Same batch stamp: keep the smaller end.
+            if end < last_end:
+                entries[-1] = (start, end)
+            return
+        # Reverse scan guarantees start < last_start; the new entry joins
+        # the frontier iff it strictly improves the minimal end.
+        if end < last_end:
+            entries.append((start, end))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """All indexed nodes."""
+        return self._frontiers.keys()
+
+    def frontier(self, source: Node, target: Node) -> List[Tuple[int, int]]:
+        """The raw ``(start, end)`` Pareto frontier for one pair."""
+        return list(self._frontiers.get(source, {}).get(target, ()))
+
+    def fastest_duration(self, source: Node, target: Node) -> Optional[int]:
+        """Minimal channel duration ``source → target``; ``None`` if
+        unreachable at any window."""
+        entries = self._frontiers.get(source, {}).get(target)
+        if not entries:
+            return None
+        return min(end - start + 1 for start, end in entries)
+
+    def reaches(self, source: Node, target: Node, window: int) -> bool:
+        """``target ∈ σω(source)`` for ω = ``window``."""
+        self._check_window(window)
+        entries = self._frontiers.get(source, {}).get(target)
+        if not entries:
+            return False
+        return any(end - start + 1 <= window for start, end in entries)
+
+    def earliest_end(
+        self, source: Node, target: Node, window: int
+    ) -> Optional[int]:
+        """``λω(source, target)`` — minimal end among in-budget channels."""
+        self._check_window(window)
+        entries = self._frontiers.get(source, {}).get(target)
+        if not entries:
+            return None
+        candidates = [
+            end for start, end in entries if end - start + 1 <= window
+        ]
+        return min(candidates) if candidates else None
+
+    def reachability_set(self, source: Node, window: int) -> set:
+        """``σω(source)`` for ω = ``window``."""
+        self._check_window(window)
+        frontier = self._frontiers.get(source, {})
+        return {
+            target
+            for target, entries in frontier.items()
+            if any(end - start + 1 <= window for start, end in entries)
+        }
+
+    def irs_size(self, source: Node, window: int) -> int:
+        """``|σω(source)|``."""
+        return len(self.reachability_set(source, window))
+
+    def spread(self, seeds: Iterable[Node], window: int) -> int:
+        """``|⋃ σω(seed)|`` — the influence-oracle answer at any window."""
+        covered: set = set()
+        for seed in seeds:
+            covered.update(self.reachability_set(seed, window))
+        return len(covered)
+
+    def entry_count(self) -> int:
+        """Total frontier entries stored (the memory driver)."""
+        return sum(
+            len(entries)
+            for frontier in self._frontiers.values()
+            for entries in frontier.values()
+        )
+
+    def max_frontier_length(self) -> int:
+        """Longest per-pair frontier."""
+        longest = 0
+        for frontier in self._frontiers.values():
+            for entries in frontier.values():
+                if len(entries) > longest:
+                    longest = len(entries)
+        return longest
+
+    @staticmethod
+    def _check_window(window: int) -> None:
+        if isinstance(window, bool) or not isinstance(window, int):
+            raise TypeError("window must be an int")
+        require_non_negative(window, "window")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MultiWindowIRS(nodes={len(self._frontiers)}, "
+            f"entries={self.entry_count()})"
+        )

@@ -1,0 +1,207 @@
+"""Streaming maintenance of *influenced-by* sets (extension).
+
+The paper is explicit that its one-pass algorithms are **not** streaming:
+"if a new interaction arrives with a time stamp later than any other …
+potentially the IRS of every node in the network changes" (§3).  That
+asymmetry is directional.  The mirror statement of Lemma 1 holds forward:
+
+    when the **latest** interaction ``(u, v, t)`` arrives, only the
+    *influenced-by* set of ``v`` — the nodes with a channel **into** ``v``
+    — can change.
+
+So while the influence reachability sets σω(·) need the reverse scan, the
+dual sets
+
+    σω_in(v) = { u ∈ V | ∃ channel u → v with duration ≤ ω }
+
+admit true streaming maintenance: process interactions as they arrive and
+answer "how many distinct users could have influenced v within the last
+ω ticks of path budget" at any moment.  This is the live-monitoring use
+case (who has this account plausibly heard from?) that the offline index
+cannot serve.
+
+Implementation is by duality rather than re-derivation: an in-channel of
+``v`` in the stream is exactly an out-channel of ``v`` in the
+time-and-direction dual ``(u, v, t) → (v, u, −t)``
+(:meth:`~repro.core.interactions.InteractionLog.time_reversed`).  Feeding
+dual interactions to the paper's reverse-scan machinery — which requires
+strictly *decreasing* stamps, i.e. strictly increasing original stamps —
+yields per-node summaries whose entries ``(u, −s)`` record the **latest
+channel start time** s: the dominance flips from "earliest end wins" to
+"latest start wins", which is precisely what makes late arrivals cheap.
+
+Both flavours are provided: :class:`StreamingExactIndex` (exact dual
+summaries) and :class:`StreamingSketchIndex` (dual versioned-HLL), plus
+the one-shot helper :func:`influencers_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+from repro.utils.validation import require_non_negative, require_type
+
+__all__ = [
+    "StreamingExactIndex",
+    "StreamingSketchIndex",
+    "influencers_of",
+]
+
+Node = Hashable
+
+
+class StreamingExactIndex:
+    """Exact influenced-by sets, maintained as interactions arrive.
+
+    Parameters
+    ----------
+    window:
+        Maximum channel duration ω.
+
+    Example
+    -------
+    >>> index = StreamingExactIndex(window=5)
+    >>> index.process("a", "b", 1)
+    >>> index.process("b", "c", 3)
+    >>> sorted(index.influencers("c"))
+    ['a', 'b']
+    """
+
+    def __init__(self, window: int) -> None:
+        if isinstance(window, bool) or not isinstance(window, int):
+            raise TypeError("window must be an int")
+        require_non_negative(window, "window")
+        self._window = window
+        self._dual = ExactIRS(window)
+
+    @property
+    def window(self) -> int:
+        """The duration budget ω."""
+        return self._window
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """All nodes seen so far."""
+        return self._dual.nodes
+
+    def process(self, source: Node, target: Node, time: int) -> None:
+        """Feed one interaction; times must be strictly increasing."""
+        if isinstance(time, bool) or not isinstance(time, int):
+            raise TypeError(f"time must be an int, got {time!r}")
+        # Dual: flip direction, negate time.  The dual index enforces
+        # strictly decreasing dual stamps == strictly increasing originals.
+        self._dual.process(target, source, -time)
+
+    @classmethod
+    def from_log(cls, log: InteractionLog, window: int) -> "StreamingExactIndex":
+        """Replay a whole log (ties batched via the dual's from_log)."""
+        require_type(log, "log", InteractionLog)
+        index = cls(window)
+        index._dual = ExactIRS.from_log(log.time_reversed(), window)
+        return index
+
+    def influencers(self, node: Node) -> set:
+        """``σω_in(node)`` — everyone with an in-budget channel into node."""
+        return self._dual.reachability_set(node)
+
+    def influencer_count(self, node: Node) -> int:
+        """``|σω_in(node)|``."""
+        return self._dual.irs_size(node)
+
+    def latest_start(self, node: Node, influencer: Node) -> Optional[int]:
+        """Latest start time of an in-budget channel ``influencer → node``.
+
+        The dual's λ (minimal dual end time) is the negated maximal
+        original start time — later starts are fresher influence.
+        """
+        dual_lambda = self._dual.summary(node).earliest_end(influencer)
+        return -dual_lambda if dual_lambda is not None else None
+
+    def audience_overlap(self, nodes: Iterable[Node]) -> int:
+        """``|⋃ σω_in(v)|`` — distinct users who could have influenced any
+        of ``nodes``."""
+        return self._dual.spread(nodes)
+
+    def entry_count(self) -> int:
+        """Stored summary entries."""
+        return self._dual.entry_count()
+
+
+class StreamingSketchIndex:
+    """Sketch-based influenced-by counts, maintained as interactions arrive.
+
+    The memory-bounded sibling of :class:`StreamingExactIndex`: per node a
+    versioned HLL over the dual stream, β = ``2**precision`` cells.
+    """
+
+    def __init__(self, window: int, precision: int = 9, salt: int = 0) -> None:
+        if isinstance(window, bool) or not isinstance(window, int):
+            raise TypeError("window must be an int")
+        require_non_negative(window, "window")
+        self._window = window
+        self._dual = ApproxIRS(window, precision=precision, salt=salt)
+
+    @property
+    def window(self) -> int:
+        """The duration budget ω."""
+        return self._window
+
+    @property
+    def precision(self) -> int:
+        """Sketch index bits."""
+        return self._dual.precision
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """All nodes seen so far."""
+        return self._dual.nodes
+
+    def process(self, source: Node, target: Node, time: int) -> None:
+        """Feed one interaction; times must be strictly increasing."""
+        if isinstance(time, bool) or not isinstance(time, int):
+            raise TypeError(f"time must be an int, got {time!r}")
+        self._dual.process(target, source, -time)
+
+    @classmethod
+    def from_log(
+        cls,
+        log: InteractionLog,
+        window: int,
+        precision: int = 9,
+        salt: int = 0,
+    ) -> "StreamingSketchIndex":
+        """Replay a whole log."""
+        require_type(log, "log", InteractionLog)
+        index = cls(window, precision=precision, salt=salt)
+        index._dual = ApproxIRS.from_log(
+            log.time_reversed(), window, precision=precision, salt=salt
+        )
+        return index
+
+    def influencer_estimate(self, node: Node) -> float:
+        """Estimated ``|σω_in(node)|``."""
+        return self._dual.irs_estimate(node)
+
+    def audience_overlap(self, nodes: Iterable[Node]) -> float:
+        """Estimated ``|⋃ σω_in(v)|`` over the given nodes."""
+        return self._dual.spread(nodes)
+
+    def entry_count(self) -> int:
+        """Stored sketch pairs."""
+        return self._dual.entry_count()
+
+
+def influencers_of(
+    log: InteractionLog, node: Node, window: int
+) -> set:
+    """One-shot ``σω_in(node)`` for a complete log.
+
+    Convenience wrapper over :class:`StreamingExactIndex` for offline use;
+    equivalent to checking ``node ∈ σω(u)`` for every ``u``, at a fraction
+    of the cost.
+    """
+    require_type(log, "log", InteractionLog)
+    return StreamingExactIndex.from_log(log, window).influencers(node)

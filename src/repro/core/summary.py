@@ -1,0 +1,133 @@
+"""Exact IRS summaries (paper Definition 4 and Lemma 2).
+
+For a node ``u``, the summary ``ϕω(u)`` maps every node ``v`` reachable from
+``u`` through an information channel of duration ≤ ω to
+``λ(u, v)`` — the minimal *end time* over all such channels.  Keeping the
+minimum end time is what makes the one-pass reverse scan work: when a new,
+strictly earlier interaction ``(w, u, t)`` arrives, a channel of ``u``
+ending at ``λ`` extends to a channel of ``w`` iff ``λ − t + 1 ≤ ω``, and
+among all channels to the same node the one with minimal end time is always
+the most extendable (it dominates the others — Lemma 2's ``↓`` operator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, ItemsView, Iterator, KeysView, Optional
+
+from repro.utils.validation import require_type
+
+__all__ = ["IRSSummary"]
+
+Node = Hashable
+
+
+class IRSSummary:
+    """Mutable exact summary ``ϕω(u)``: ``{reached node → λ}``.
+
+    The class is agnostic of which node it summarises and of ω; the
+    windowing logic lives in :meth:`merge_within`'s arguments, mirroring the
+    paper's ``Merge(ϕ(u), ϕ(v), t, ω)`` signature.
+
+    Example
+    -------
+    >>> phi = IRSSummary()
+    >>> phi.add("c", 8)
+    >>> phi.add("c", 7)     # an earlier channel end dominates
+    >>> phi.earliest_end("c")
+    7
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Dict[Node, int]] = None) -> None:
+        self._entries: Dict[Node, int] = dict(entries) if entries else {}
+
+    # ------------------------------------------------------------------
+    # Updates (paper Algorithm 2's Add / Merge)
+    # ------------------------------------------------------------------
+    def add(self, node: Node, end_time: int) -> None:
+        """Record a channel to ``node`` ending at ``end_time``; keep the min.
+
+        This is the paper's ``Add(ϕ(u), (v, t))``.
+        """
+        current = self._entries.get(node)
+        if current is None or end_time < current:
+            self._entries[node] = end_time
+
+    def merge_within(
+        self,
+        other: "IRSSummary",
+        start_time: int,
+        window: int,
+        skip: Optional[Node] = None,
+    ) -> None:
+        """Fold ``other`` into ``self`` under the duration budget.
+
+        This is the paper's ``Merge(ϕ(u), ϕ(v), t, ω)``: every entry
+        ``(x, t_x)`` of ``other`` with ``t_x − start_time < window`` (i.e.
+        the prepended channel's duration ``t_x − start_time + 1 ≤ ω``) is
+        added.  ``skip`` suppresses channels looping back to the summarised
+        node itself, which carry no influence.
+        """
+        deadline = start_time + window  # keep t_x < deadline
+        entries = self._entries
+        for node, end_time in other._entries.items():
+            if end_time >= deadline or node is skip or node == skip:
+                continue
+            current = entries.get(node)
+            if current is None or end_time < current:
+                entries[node] = end_time
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def earliest_end(self, node: Node) -> Optional[int]:
+        """``λ(u, node)``, or ``None`` when ``node`` is not reachable."""
+        return self._entries.get(node)
+
+    def nodes(self) -> KeysView[Node]:
+        """The influence reachability set ``σω(u)`` as a view."""
+        return self._entries.keys()
+
+    def items(self) -> ItemsView[Node, int]:
+        """``(node, λ)`` pairs."""
+        return self._entries.items()
+
+    def to_dict(self) -> Dict[Node, int]:
+        """A copy of the underlying mapping."""
+        return dict(self._entries)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IRSSummary):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        preview = dict(sorted(self._entries.items(), key=repr)[:4])
+        suffix = ", …" if len(self._entries) > 4 else ""
+        return f"IRSSummary({preview}{suffix} | {len(self._entries)} nodes)"
+
+    def copy(self) -> "IRSSummary":
+        """An independent copy."""
+        clone = IRSSummary()
+        clone._entries = dict(self._entries)
+        return clone
+
+    @classmethod
+    def union(cls, *summaries: "IRSSummary") -> "IRSSummary":
+        """Pointwise-minimum union of several summaries."""
+        result = cls()
+        for summary in summaries:
+            require_type(summary, "summary", IRSSummary)
+            for node, end_time in summary._entries.items():
+                result.add(node, end_time)
+        return result

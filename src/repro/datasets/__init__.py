@@ -1,0 +1,37 @@
+"""Synthetic interaction-network generators, the Table 2 catalog, and IO."""
+
+from repro.datasets.catalog import CATALOG, DatasetSpec, dataset_names, load_dataset
+from repro.datasets.generators import (
+    cascade_network,
+    email_network,
+    forum_network,
+    uniform_network,
+)
+from repro.datasets.statistics import LogStatistics, burstiness, describe, gini
+from repro.datasets.loaders import (
+    read_csv,
+    read_edge_list,
+    to_networkx,
+    write_csv,
+    write_edge_list,
+)
+
+__all__ = [
+    "CATALOG",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "email_network",
+    "cascade_network",
+    "forum_network",
+    "uniform_network",
+    "read_edge_list",
+    "write_edge_list",
+    "read_csv",
+    "write_csv",
+    "to_networkx",
+    "LogStatistics",
+    "describe",
+    "gini",
+    "burstiness",
+]

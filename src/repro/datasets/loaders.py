@@ -1,0 +1,97 @@
+"""Reading / writing interaction logs and third-party conversions.
+
+Complements the on-class IO of :class:`~repro.core.interactions.InteractionLog`
+with CSV support and an optional export to ``networkx`` (handy for users who
+want to run their own static analyses next to this library's algorithms).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Union
+
+from repro.core.interactions import Interaction, InteractionLog
+from repro.utils.validation import require_type
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_csv",
+    "write_csv",
+    "to_networkx",
+]
+
+
+def read_edge_list(path: str, int_nodes: bool = False) -> InteractionLog:
+    """Read a whitespace-separated ``source target time`` file (SNAP style)."""
+    return InteractionLog.read(path, int_nodes=int_nodes)
+
+
+def write_edge_list(log: InteractionLog, path: str) -> None:
+    """Write ``log`` as whitespace-separated ``source target time`` lines."""
+    require_type(log, "log", InteractionLog)
+    log.write(path)
+
+
+def read_csv(
+    path_or_file: Union[str, io.TextIOBase],
+    int_nodes: bool = False,
+) -> InteractionLog:
+    """Read a CSV with a ``source,target,time`` header (column order free)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8", newline="") as handle:
+            return _read_csv_handle(handle, int_nodes)
+    return _read_csv_handle(path_or_file, int_nodes)
+
+
+def _read_csv_handle(handle, int_nodes: bool) -> InteractionLog:
+    reader = csv.DictReader(handle)
+    missing = {"source", "target", "time"} - set(reader.fieldnames or ())
+    if missing:
+        raise ValueError(f"CSV is missing columns: {sorted(missing)}")
+    records = []
+    for row in reader:
+        source = int(row["source"]) if int_nodes else row["source"]
+        target = int(row["target"]) if int_nodes else row["target"]
+        records.append(Interaction(source, target, int(row["time"])))
+    return InteractionLog(records, allow_self_loops=True)
+
+
+def write_csv(log: InteractionLog, path_or_file: Union[str, io.TextIOBase]) -> None:
+    """Write ``log`` as a ``source,target,time`` CSV."""
+    require_type(log, "log", InteractionLog)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8", newline="") as handle:
+            _write_csv_handle(log, handle)
+    else:
+        _write_csv_handle(log, path_or_file)
+
+
+def _write_csv_handle(log: InteractionLog, handle) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(["source", "target", "time"])
+    for source, target, time in log:
+        writer.writerow([source, target, time])
+
+
+def to_networkx(log: InteractionLog, static: bool = False):
+    """Convert to a ``networkx`` graph.
+
+    ``static=False`` returns a ``MultiDiGraph`` with a ``time`` attribute
+    per interaction; ``static=True`` returns the flattened ``DiGraph``.
+    Raises :class:`ImportError` when networkx is unavailable.
+    """
+    require_type(log, "log", InteractionLog)
+    import networkx as nx
+
+    if static:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(log.nodes)
+        graph.add_edges_from(log.static_edges())
+        return graph
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(log.nodes)
+    for source, target, time in log:
+        graph.add_edge(source, target, time=time)
+    return graph

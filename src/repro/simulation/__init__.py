@@ -1,0 +1,16 @@
+"""The TCIC cascade model and Monte-Carlo spread estimation."""
+
+from repro.simulation.spread import SpreadEstimate, estimate_spread, spread_curve
+from repro.simulation.tcic import TCICResult, run_tcic
+from repro.simulation.tclt import TCLTResult, estimate_tclt_spread, run_tclt
+
+__all__ = [
+    "TCICResult",
+    "run_tcic",
+    "SpreadEstimate",
+    "estimate_spread",
+    "spread_curve",
+    "TCLTResult",
+    "run_tclt",
+    "estimate_tclt_spread",
+]

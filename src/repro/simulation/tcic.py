@@ -1,0 +1,133 @@
+"""The Time-Constrained Information Cascade model (paper §2, Algorithm 1).
+
+TCIC adapts the Independent Cascade model to interaction networks: infection
+can only travel along *actual interactions*, in time order, and only while
+the propagating chain is younger than the window ω.
+
+Mechanics (one forward pass over the log):
+
+* a seed node becomes active (infected) at its first interaction as a
+  source; its ``activate_time`` starts the chain clock;
+* when an active node ``u`` interacts with ``v`` at time ``t`` and
+  ``t − activate_time(u) ≤ ω``, the infection crosses to ``v`` with
+  probability ``p``;
+* on infection ``v`` inherits the *chain clock*: ``activate_time(v)`` is set
+  to ``activate_time(u)`` when that is newer than what ``v`` already has, so
+  the window constrains the whole temporal path from the seed's activation
+  (and a node reached by a fresher chain gets the fresher budget).
+
+The model is the paper's *evaluation judge*: seed sets produced by IRS and
+by the baselines are all scored by their expected TCIC spread.
+
+A note on fidelity: the prose of §2 says seeds are infected "at their first
+interaction", while the pseudo-code of Algorithm 1 re-assigns the seed's
+``activate_time`` at *every* interaction it sources.  The two differ
+materially: under the literal pseudo-code a seed gets a fresh ω-budget at
+each of its interactions, which makes the p = 1 cascade from a single seed
+coincide (up to an off-by-one on the duration bound) with its influence
+reachability set — precisely the correspondence the paper's Figure 5
+relies on (IRS-greedy tops every panel).  We therefore default to the
+literal pseudo-code (``reset_seed_clock=True``) and expose
+``reset_seed_clock=False`` for the prose variant; the ablation benchmark
+compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Set
+
+from repro.core.interactions import InteractionLog
+from repro.utils.rng import RngLike, resolve_rng
+from repro.utils.validation import (
+    require_non_negative,
+    require_probability,
+    require_type,
+)
+
+__all__ = ["TCICResult", "run_tcic"]
+
+Node = Hashable
+
+
+@dataclass
+class TCICResult:
+    """Outcome of a single TCIC cascade run."""
+
+    active: Set[Node]
+    """Every node that ended the run infected (seeds included once active)."""
+
+    activate_time: Dict[Node, int] = field(default_factory=dict)
+    """Chain-clock value per active node (diagnostic)."""
+
+    infections: int = 0
+    """Number of successful non-seed infections (edge crossings)."""
+
+    @property
+    def spread(self) -> int:
+        """Number of active nodes — Algorithm 1's return value."""
+        return len(self.active)
+
+
+def run_tcic(
+    log: InteractionLog,
+    seeds: Iterable[Node],
+    window: int,
+    probability: float,
+    rng: RngLike = None,
+    reset_seed_clock: bool = True,
+) -> TCICResult:
+    """Run one TCIC cascade (paper Algorithm 1) and return its result.
+
+    Parameters
+    ----------
+    log:
+        The interaction network, scanned once in forward time order.
+    seeds:
+        Seed set ``S``; unknown nodes are tolerated (they simply never
+        interact).
+    window:
+        ω — a chain may infect only within ``activate_time + ω``.
+    probability:
+        ``p`` — per-interaction infection probability (the paper evaluates
+        p = 0.5 and p = 1.0).
+    rng:
+        Seed or :class:`random.Random` for reproducible cascades.
+    reset_seed_clock:
+        When true (default — the literal Algorithm 1), a seed's clock
+        restarts at every interaction it sources; when false, only the
+        first interaction activates it (the §2 prose variant).  See the
+        module docstring.
+    """
+    require_type(log, "log", InteractionLog)
+    if isinstance(window, bool) or not isinstance(window, int):
+        raise TypeError("window must be an int")
+    require_non_negative(window, "window")
+    require_probability(probability, "probability")
+    generator = resolve_rng(rng)
+    seed_set = set(seeds)
+
+    activate_time: Dict[Node, int] = {}
+    infections = 0
+
+    for source, target, time in log:
+        if source in seed_set and (reset_seed_clock or source not in activate_time):
+            activate_time[source] = time
+        source_clock = activate_time.get(source)
+        if source_clock is None or time - source_clock > window:
+            continue
+        if probability < 1.0 and generator.random() >= probability:
+            continue
+        previous = activate_time.get(target)
+        if previous is None:
+            activate_time[target] = source_clock
+            infections += 1
+        elif source_clock > previous:
+            # Already infected, but the fresher chain extends the budget.
+            activate_time[target] = source_clock
+
+    return TCICResult(
+        active=set(activate_time),
+        activate_time=activate_time,
+        infections=infections,
+    )

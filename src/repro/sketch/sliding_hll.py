@@ -1,0 +1,172 @@
+"""Sliding-window HyperLogLog (Kumar, Calders, Gionis & Tatti, ECML-PKDD
+2015 — the paper's ref [15], whose construction the versioned HLL adapts).
+
+Counts distinct items over *time-based sliding windows* of a forward
+stream: after feeding items with non-decreasing timestamps, the sketch can
+estimate "how many distinct items arrived in ``[start, now]``" for **any**
+``start`` — one sketch answers every window length at once.
+
+The trick mirrors :mod:`repro.sketch.vhll` with the time axis flipped.
+Each cell keeps the Pareto frontier of ``(timestamp, ρ)`` pairs under the
+dominance "newer and larger ρ wins": a pair survives only while it holds
+the maximum ρ for *some* suffix window.  Stored in arrival order the
+timestamps increase and the ρ values strictly decrease, so
+
+* inserting prunes a suffix of the list (amortised O(1) per arrival), and
+* a window query binary-searches the first pair inside the window — whose
+  ρ is the window's register value — in O(log log n) expected.
+
+Expected list length is O(log W) for windows of W arrivals, by the same
+record-value argument as the paper's Lemma 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Hashable, Optional
+
+from repro.sketch.hashing import split_hash
+from repro.sketch.hll import estimate_from_registers
+from repro.utils.validation import require_type
+
+__all__ = ["SlidingWindowHLL"]
+
+
+class SlidingWindowHLL:
+    """HyperLogLog over every suffix window of a forward stream.
+
+    Parameters
+    ----------
+    precision:
+        Index bits; β = ``2**precision`` cells.
+    salt:
+        Hash-function selector.
+
+    Example
+    -------
+    >>> sketch = SlidingWindowHLL(precision=8)
+    >>> for t in range(1000):
+    ...     sketch.add(f"user-{t % 400}", timestamp=t)
+    >>> 300 < sketch.cardinality_since(600) < 500   # last 400 ticks
+    True
+    """
+
+    __slots__ = ("_precision", "_m", "_salt", "_cells", "_last_time")
+
+    def __init__(self, precision: int = 9, salt: int = 0) -> None:
+        if not isinstance(precision, int) or isinstance(precision, bool):
+            raise TypeError("precision must be an int")
+        if not 2 <= precision <= 20:
+            raise ValueError(f"precision must be in [2, 20], got {precision}")
+        require_type(salt, "salt", int)
+        self._precision = precision
+        self._m = 1 << precision
+        self._salt = salt
+        # Per cell: list of (timestamp, rho), timestamps increasing and rho
+        # strictly decreasing (the suffix-maxima frontier).
+        self._cells: list[Optional[list[tuple[int, int]]]] = [None] * self._m
+        self._last_time: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> int:
+        """Number of index bits."""
+        return self._precision
+
+    @property
+    def num_cells(self) -> int:
+        """β — number of cells."""
+        return self._m
+
+    @property
+    def last_time(self) -> Optional[int]:
+        """Timestamp of the most recent arrival (None when empty)."""
+        return self._last_time
+
+    def entry_count(self) -> int:
+        """Stored ``(t, ρ)`` pairs across all cells."""
+        return sum(len(cell) for cell in self._cells if cell)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add(self, item: Hashable, timestamp: int) -> None:
+        """Feed one arrival; timestamps must be non-decreasing."""
+        if isinstance(timestamp, bool) or not isinstance(timestamp, int):
+            raise TypeError("timestamp must be an int")
+        if self._last_time is not None and timestamp < self._last_time:
+            raise ValueError(
+                f"stream must be fed in time order: got t={timestamp} "
+                f"after t={self._last_time}"
+            )
+        self._last_time = timestamp
+        cell_index, r = split_hash(item, self._precision, self._salt)
+        pairs = self._cells[cell_index]
+        if pairs is None:
+            self._cells[cell_index] = [(timestamp, r)]
+            return
+        # Remove every trailing pair with rho <= r: the new arrival is at
+        # least as recent AND at least as large, so it dominates them.
+        while pairs and pairs[-1][1] <= r:
+            pairs.pop()
+        pairs.append((timestamp, r))
+
+    def prune(self, before: int) -> None:
+        """Discard pairs with ``t < before``.
+
+        Safe once only windows starting at or after ``before`` will ever be
+        queried: a pair older than every future window start can never be a
+        window's register again.  Call periodically to bound memory when
+        tracking an endless stream with a fixed maximum window length.
+        """
+        if isinstance(before, bool) or not isinstance(before, int):
+            raise TypeError("before must be an int")
+        for index, pairs in enumerate(self._cells):
+            if not pairs:
+                continue
+            cut = bisect_left(pairs, before, key=lambda pair: pair[0])
+            if cut:
+                del pairs[:cut]
+                if not pairs:
+                    self._cells[index] = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def registers_since(self, start: int) -> list[int]:
+        """Per-cell max ρ over arrivals with ``t >= start``.
+
+        Within a cell the frontier's ρ decreases with time, so the first
+        pair inside the window carries the maximum.
+        """
+        registers = []
+        for pairs in self._cells:
+            if not pairs:
+                registers.append(0)
+                continue
+            index = bisect_left(pairs, start, key=lambda pair: pair[0])
+            registers.append(pairs[index][1] if index < len(pairs) else 0)
+        return registers
+
+    def cardinality_since(self, start: int) -> float:
+        """Estimated distinct items among arrivals with ``t >= start``."""
+        return estimate_from_registers(self.registers_since(start), self._m)
+
+    def cardinality(self) -> float:
+        """Estimated distinct items over the whole stream seen so far."""
+        registers = []
+        for pairs in self._cells:
+            registers.append(pairs[0][1] if pairs else 0)
+        return estimate_from_registers(registers, self._m)
+
+    def __len__(self) -> int:
+        """Whole-stream estimate, rounded."""
+        return round(self.cardinality())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SlidingWindowHLL(precision={self._precision}, "
+            f"entries={self.entry_count()}, last_time={self._last_time})"
+        )

@@ -1,0 +1,292 @@
+"""Versioned HyperLogLog (vHLL) — the paper's sketch (§3.2.2).
+
+A plain HyperLogLog register keeps a single maximum ρ per cell, which is
+enough to estimate the cardinality of *everything ever added*.  The
+approximate IRS algorithm, however, repeatedly has to merge the sketch of a
+node ``v`` into the sketch of a node ``u`` **restricted to the items whose
+channel end time fits u's window** (``t_x − t < ω``).  A single maximum
+cannot answer that, so each cell of the versioned sketch stores a small
+dominance-pruned list of ``(ρ, t)`` pairs:
+
+* pair ``(ρ', t')`` **dominates** ``(ρ, t)`` iff ``t' ≤ t`` and ``ρ' ≥ ρ`` —
+  an earlier end time is usable by strictly more prefix extensions, and a
+  larger ρ contributes a larger register value;
+* each cell keeps only non-dominated pairs, so in list order of increasing
+  ``t`` the ρ values are strictly increasing;
+* the expected list length is ``O(log ω)`` (paper Lemma 4): a new item's ρ
+  survives only if it exceeds every ρ already present at earlier times, which
+  happens with probability ``1/i`` for the i-th item — a harmonic series.
+
+Given any end-time deadline, the effective register of a cell is the ρ of
+the *latest* pair not exceeding the deadline, and cardinality estimation
+reduces to the standard HLL formula over those effective registers
+(:func:`repro.sketch.hll.estimate_from_registers`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Hashable, Iterable, Optional
+
+from repro.sketch.hashing import split_hash
+from repro.sketch.hll import estimate_from_registers
+from repro.utils.validation import require_type
+
+__all__ = ["VersionedHLL"]
+
+_TIME_KEY = lambda pair: pair[0]  # noqa: E731 - bisect key, kept tiny on purpose
+
+
+class VersionedHLL:
+    """A HyperLogLog whose cells remember *when* each maximum was achieved.
+
+    Parameters
+    ----------
+    precision:
+        Number of index bits; the sketch has ``β = 2**precision`` cells.
+        The paper's default is β = 512 (precision 9).
+    salt:
+        Hash-function selector; only sketches with equal ``(precision, salt)``
+        can be merged.
+
+    Notes
+    -----
+    Timestamps must be integers (the paper models time stamps as natural
+    numbers).  Cell lists store ``(t, ρ)`` pairs sorted by strictly
+    increasing ``t`` with strictly increasing ρ — the Pareto frontier of the
+    dominance order above.
+    """
+
+    __slots__ = ("_precision", "_m", "_salt", "_cells")
+
+    def __init__(self, precision: int = 9, salt: int = 0) -> None:
+        if not isinstance(precision, int) or isinstance(precision, bool):
+            raise TypeError("precision must be an int")
+        if not 2 <= precision <= 20:
+            raise ValueError(f"precision must be in [2, 20], got {precision}")
+        require_type(salt, "salt", int)
+        self._precision = precision
+        self._m = 1 << precision
+        self._salt = salt
+        # One list of (t, rho) pairs per cell; lazily created to keep empty
+        # sketches cheap (one per node of the graph is allocated).
+        self._cells: list[Optional[list[tuple[int, int]]]] = [None] * self._m
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> int:
+        """Number of index bits."""
+        return self._precision
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells ``β``."""
+        return self._m
+
+    @property
+    def salt(self) -> int:
+        """Hash-function salt."""
+        return self._salt
+
+    def entry_count(self) -> int:
+        """Total number of ``(t, ρ)`` pairs stored across all cells.
+
+        This is the quantity the memory-accounting experiment (paper Table 4)
+        tracks: each pair costs a constant number of machine words.
+        """
+        return sum(len(cell) for cell in self._cells if cell)
+
+    def cell_lengths(self) -> list[int]:
+        """Per-cell list lengths (used to validate Lemma 4 empirically)."""
+        return [len(cell) if cell else 0 for cell in self._cells]
+
+    def is_empty(self) -> bool:
+        """True if no pair has ever been stored."""
+        return all(not cell for cell in self._cells)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add(self, item: Hashable, timestamp: int) -> None:
+        """Record that ``item`` was reached by a channel ending at ``timestamp``."""
+        self._check_time(timestamp)
+        cell, r = split_hash(item, self._precision, self._salt)
+        self.add_pair(cell, r, timestamp)
+
+    def add_pair(self, cell: int, r: int, timestamp: int) -> None:
+        """Insert a raw ``(ρ=r, t=timestamp)`` pair into ``cell``.
+
+        Implements the paper's ``ApproxAdd``: the pair is dropped if an
+        existing pair dominates it; otherwise every pair it dominates is
+        removed and the new pair is spliced in, preserving the sorted
+        Pareto-frontier invariant.
+        """
+        if not 0 <= cell < self._m:
+            raise ValueError(f"cell must be in [0, {self._m}), got {cell}")
+        pairs = self._cells[cell]
+        if pairs is None:
+            self._cells[cell] = [(timestamp, r)]
+            return
+        # Position of the first pair with t >= timestamp.
+        i = bisect_left(pairs, timestamp, key=_TIME_KEY)
+        # A dominating pair has t' <= timestamp and rho' >= r.  Pairs are
+        # rho-increasing, so only the latest such pair can dominate.  A pair
+        # at position i with t' == timestamp also has t' <= timestamp.
+        if i < len(pairs) and pairs[i][0] == timestamp:
+            if pairs[i][1] >= r:
+                return
+            # Same time, smaller rho: strictly dominated by the new pair.
+            del pairs[i]
+        elif i > 0 and pairs[i - 1][1] >= r:
+            return
+        # Remove pairs the new one dominates: t'' >= timestamp and rho'' <= r.
+        # They form a contiguous run starting at i (rho increases with t).
+        j = i
+        n = len(pairs)
+        while j < n and pairs[j][1] <= r:
+            j += 1
+        pairs[i:j] = [(timestamp, r)]
+
+    def merge(self, other: "VersionedHLL") -> None:
+        """In-place union with ``other`` (no time constraint).
+
+        Used by the influence oracle when combining the final sketches of
+        several seed nodes (paper §4.1).
+        """
+        self._check_compatible(other)
+        for cell_index, pairs in enumerate(other._cells):
+            if not pairs:
+                continue
+            for t, r in pairs:
+                self.add_pair(cell_index, r, t)
+
+    def merge_within(self, other: "VersionedHLL", start_time: int, window: int) -> None:
+        """Merge ``other`` keeping only pairs with ``t − start_time < window``.
+
+        This is the paper's ``ApproxMerge``: when an interaction
+        ``(u, v, start_time)`` is processed, ``v``'s sketch is folded into
+        ``u``'s, but a channel through ``v`` ending at ``t`` only fits u's
+        duration budget when ``t − start_time + 1 ≤ ω``.
+        """
+        self._check_compatible(other)
+        self._check_time(start_time)
+        if not isinstance(window, int) or isinstance(window, bool):
+            raise TypeError("window must be an int")
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        deadline = start_time + window  # exclusive: keep t < deadline
+        for cell_index, pairs in enumerate(other._cells):
+            if not pairs:
+                continue
+            for t, r in pairs:
+                if t >= deadline:
+                    break  # pairs are time-sorted; the rest are too late
+                self.add_pair(cell_index, r, t)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def effective_registers(
+        self,
+        min_time: Optional[int] = None,
+        max_time: Optional[int] = None,
+    ) -> list[int]:
+        """Per-cell maximum ρ over pairs with ``min_time ≤ t ≤ max_time``.
+
+        ``None`` bounds are unconstrained.  Because ρ increases with ``t``
+        within a cell, the qualifying pair with the largest ``t`` carries the
+        maximum ρ, so each cell is answered with one bisection.
+        """
+        registers = []
+        for pairs in self._cells:
+            if not pairs:
+                registers.append(0)
+                continue
+            hi = len(pairs)
+            if max_time is not None:
+                hi = bisect_right(pairs, max_time, key=_TIME_KEY)
+            if hi == 0:
+                registers.append(0)
+                continue
+            t, r = pairs[hi - 1]
+            if min_time is not None and t < min_time:
+                registers.append(0)
+            else:
+                registers.append(r)
+        return registers
+
+    def cardinality(self) -> float:
+        """Estimate of the number of distinct items ever added."""
+        return estimate_from_registers(self.effective_registers(), self._m)
+
+    def cardinality_within(self, min_time: Optional[int] = None, max_time: Optional[int] = None) -> float:
+        """Cardinality estimate restricted to pairs inside the time bounds."""
+        return estimate_from_registers(
+            self.effective_registers(min_time, max_time), self._m
+        )
+
+    def __len__(self) -> int:
+        """The all-time cardinality estimate, rounded."""
+        return round(self.cardinality())
+
+    def copy(self) -> "VersionedHLL":
+        """An independent deep copy (cell lists are not shared)."""
+        clone = VersionedHLL(self._precision, self._salt)
+        clone._cells = [list(pairs) if pairs else None for pairs in self._cells]
+        return clone
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable representation."""
+        return {
+            "precision": self._precision,
+            "salt": self._salt,
+            "cells": [list(map(list, pairs)) if pairs else [] for pairs in self._cells],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VersionedHLL":
+        """Inverse of :meth:`to_dict`, with invariant checking."""
+        sketch = cls(payload["precision"], payload["salt"])
+        cells = payload["cells"]
+        if len(cells) != sketch._m:
+            raise ValueError(f"cell array has length {len(cells)}, expected {sketch._m}")
+        for index, raw_pairs in enumerate(cells):
+            previous_t: Optional[int] = None
+            previous_r: Optional[int] = None
+            for t, r in raw_pairs:
+                if previous_t is not None and (t <= previous_t or r <= previous_r):
+                    raise ValueError(
+                        f"cell {index} violates the Pareto-frontier invariant"
+                    )
+                sketch.add_pair(index, r, t)
+                previous_t, previous_r = t, r
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "VersionedHLL") -> None:
+        require_type(other, "other", VersionedHLL)
+        if other._precision != self._precision or other._salt != self._salt:
+            raise ValueError(
+                "cannot combine sketches with different precision/salt: "
+                f"({self._precision}, {self._salt}) vs ({other._precision}, {other._salt})"
+            )
+
+    @staticmethod
+    def _check_time(timestamp: int) -> None:
+        if not isinstance(timestamp, int) or isinstance(timestamp, bool):
+            raise TypeError(
+                f"timestamp must be an int, got {type(timestamp).__name__}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VersionedHLL(precision={self._precision}, salt={self._salt}, "
+            f"entries={self.entry_count()}, estimate={self.cardinality():.1f})"
+        )

@@ -1,0 +1,27 @@
+"""Small shared utilities: validation, RNG plumbing, timing."""
+
+from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.timer import Timer, time_call
+from repro.utils.validation import (
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rng",
+    "Timer",
+    "time_call",
+    "require_in_range",
+    "require_non_empty",
+    "require_non_negative",
+    "require_positive",
+    "require_power_of_two",
+    "require_probability",
+    "require_type",
+]

@@ -1,0 +1,41 @@
+"""Wall-clock timing utilities used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Timer", "time_call"]
+
+
+class Timer:
+    """A context manager that records elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer.__exit__ called before __enter__")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+def time_call(func: Callable[[], object]) -> tuple[object, float]:
+    """Call ``func()`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

@@ -1,0 +1,86 @@
+"""Shared argument-validation helpers.
+
+Every public entry point of :mod:`repro` validates its arguments eagerly and
+raises :class:`ValueError` / :class:`TypeError` with messages that name the
+offending parameter.  Centralising the checks here keeps the error messages
+consistent across the library and keeps the algorithm modules focused on the
+algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_power_of_two",
+    "require_in_range",
+    "require_type",
+    "require_non_empty",
+]
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a number > 0."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: Any, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a number >= 0."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: Any, name: str) -> None:
+    """Raise unless ``value`` is a real number in the closed interval [0, 1]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_power_of_two(value: Any, name: str) -> None:
+    """Raise unless ``value`` is a positive integer power of two."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0 or value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def require_in_range(value: Any, name: str, low: float, high: float) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_type(value: Any, name: str, expected: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")
+
+
+def require_non_empty(value: Iterable[Any], name: str) -> None:
+    """Raise :class:`ValueError` if ``value`` has length zero.
+
+    Only works for sized containers; generators should be materialised by the
+    caller first.
+    """
+    try:
+        size = len(value)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise TypeError(f"{name} must be a sized container") from exc
+    if size == 0:
+        raise ValueError(f"{name} must not be empty")

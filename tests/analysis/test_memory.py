@@ -1,0 +1,62 @@
+"""Unit tests for memory accounting."""
+
+import pytest
+
+from repro.analysis.memory import (
+    EXACT_ENTRY_BYTES,
+    SKETCH_ENTRY_BYTES,
+    accounted_bytes,
+    deep_size,
+    megabytes,
+)
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+
+
+@pytest.fixture
+def logs():
+    return InteractionLog([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+
+
+class TestAccountedBytes:
+    def test_exact_index(self, logs):
+        index = ExactIRS.from_log(logs, window=10)
+        assert accounted_bytes(index) == index.entry_count() * EXACT_ENTRY_BYTES
+
+    def test_approx_index(self, logs):
+        index = ApproxIRS.from_log(logs, window=10, precision=6)
+        assert accounted_bytes(index) == index.entry_count() * SKETCH_ENTRY_BYTES
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            accounted_bytes({"not": "an index"})
+
+    def test_grows_with_window(self):
+        log = InteractionLog([(i % 9, (i + 1) % 9, i) for i in range(80)])
+        small = accounted_bytes(ExactIRS.from_log(log, window=2))
+        large = accounted_bytes(ExactIRS.from_log(log, window=60))
+        assert large >= small
+
+
+class TestDeepSize:
+    def test_nested_containers_counted(self):
+        flat = deep_size([])
+        nested = deep_size([[1, 2, 3], {"a": "b"}])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(100))
+        assert deep_size([shared, shared]) < 2 * deep_size([shared])
+
+    def test_slotted_objects(self, logs):
+        index = ExactIRS.from_log(logs, window=10)
+        assert deep_size(index) > 0
+
+
+class TestMegabytes:
+    def test_conversion(self):
+        assert megabytes(2_500_000) == pytest.approx(2.5)
+
+    def test_zero(self):
+        assert megabytes(0) == 0.0

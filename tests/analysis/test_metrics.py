@@ -1,0 +1,103 @@
+"""Unit tests for analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_relative_error,
+    format_table,
+    jaccard,
+    relative_error,
+    seed_overlap,
+    summarize,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(10, 12) == pytest.approx(0.2)
+
+    def test_symmetric_direction(self):
+        assert relative_error(10, 8) == pytest.approx(0.2)
+
+    def test_zero_true_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(0, 1)
+
+
+class TestAverageRelativeError:
+    def test_averages_over_nonzero_keys(self):
+        true = {"a": 10, "b": 20, "c": 0}
+        estimates = {"a": 11, "b": 18, "c": 5}
+        # errors: 0.1 and 0.1; c skipped.
+        assert average_relative_error(true, estimates) == pytest.approx(0.1)
+
+    def test_missing_estimates_count_as_zero(self):
+        assert average_relative_error({"a": 10}, {}) == pytest.approx(1.0)
+
+    def test_all_zero_true_values(self):
+        assert average_relative_error({"a": 0}, {"a": 3}) == 0.0
+
+    def test_perfect_estimates(self):
+        true = {"a": 5, "b": 9}
+        assert average_relative_error(true, dict(true)) == 0.0
+
+
+class TestSeedOverlap:
+    def test_counts_common(self):
+        assert seed_overlap(["a", "b", "c"], ["b", "c", "d"]) == 2
+
+    def test_disjoint(self):
+        assert seed_overlap(["a"], ["b"]) == 0
+
+    def test_duplicates_ignored(self):
+        assert seed_overlap(["a", "a"], ["a"]) == 1
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"name": "x", "value": 1.23456}, {"name": "longer", "value": 2}]
+        rendered = format_table(rows, title="T")
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "longer" in rendered
+        assert "1.235" in rendered  # 4 significant digits
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_missing_cell_rendered_as_none(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        assert "None" in format_table(rows)

@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plots import ascii_chart, series_from_rows
+
+
+class TestSeriesFromRows:
+    ROWS = [
+        {"dataset": "a", "k": 5, "spread": 10.0, "method": "IRS"},
+        {"dataset": "a", "k": 10, "spread": 20.0, "method": "IRS"},
+        {"dataset": "a", "k": 5, "spread": 8.0, "method": "HD"},
+        {"dataset": "b", "k": 5, "spread": 99.0, "method": "IRS"},
+    ]
+
+    def test_groups_by_series(self):
+        series = series_from_rows(self.ROWS, x="k", y="spread", series="method")
+        assert set(series) == {"IRS", "HD"}
+        assert sorted(series["IRS"]) == [(5.0, 10.0), (5.0, 99.0), (10.0, 20.0)]
+
+    def test_where_filter(self):
+        series = series_from_rows(
+            self.ROWS, x="k", y="spread", series="method", where={"dataset": "a"}
+        )
+        assert series["IRS"] == [(5.0, 10.0), (10.0, 20.0)]
+
+    def test_points_sorted_by_x(self):
+        rows = [
+            {"k": 10, "v": 1.0, "m": "s"},
+            {"k": 5, "v": 2.0, "m": "s"},
+        ]
+        series = series_from_rows(rows, x="k", y="v", series="m")
+        assert series["s"] == [(5.0, 2.0), (10.0, 1.0)]
+
+
+class TestAsciiChart:
+    def test_renders_title_and_legend(self):
+        chart = ascii_chart({"up": [(0, 0), (1, 1)]}, title="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "o=up" in chart
+
+    def test_marker_positions_monotone_series(self):
+        chart = ascii_chart({"up": [(0, 0), (10, 10)]}, width=20, height=5)
+        lines = chart.splitlines()
+        # The max point sits on the top row, the min on the bottom grid row.
+        assert "o" in lines[0]
+        assert "o" in lines[4]
+
+    def test_two_series_two_markers(self):
+        chart = ascii_chart({"a": [(0, 1)], "b": [(1, 2)]})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_empty_series_dict(self):
+        assert "(no series)" in ascii_chart({}, title="t")
+
+    def test_empty_points(self):
+        assert "(no points)" in ascii_chart({"a": []})
+
+    def test_log_scale_handles_zero(self):
+        chart = ascii_chart({"a": [(0, 0.0), (1, 100.0)]}, log_y=True)
+        assert "(log10)" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart({"a": [(2, 3), (8, 9)]})
+        assert "2" in chart and "8" in chart

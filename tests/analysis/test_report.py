@@ -1,0 +1,72 @@
+"""Tests for the auto-generated experiment report."""
+
+import pytest
+
+from repro.analysis.report import REPORT_SECTIONS, generate_report
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One tiny full report shared by the assertions below."""
+    return generate_report(scale=0.03, seed=2, precision=5)
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, smoke_report):
+        assert "# Experiment report" in smoke_report
+        for heading in (
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Table 5",
+            "Table 6",
+        ):
+            assert heading in smoke_report
+
+    def test_parameters_recorded(self, smoke_report):
+        assert "scale = 0.03" in smoke_report
+        assert "seed = 2" in smoke_report
+        assert "beta = 32" in smoke_report
+
+    def test_deterministic(self):
+        a = generate_report(
+            scale=0.03, seed=5, sections=("table2",), precision=5
+        )
+        b = generate_report(
+            scale=0.03, seed=5, sections=("table2",), precision=5
+        )
+        assert a == b
+
+    def test_section_subset(self):
+        report = generate_report(scale=0.03, seed=1, sections=("table2",), precision=5)
+        assert "Table 2" in report
+        assert "Figure 5" not in report
+
+    def test_dataset_subset(self):
+        report = generate_report(
+            scale=0.03,
+            seed=1,
+            sections=("table2", "table4"),
+            datasets=("slashdot-sim",),
+            precision=5,
+        )
+        assert "slashdot-sim" in report
+        assert "enron-sim" not in report
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown sections"):
+            generate_report(scale=0.03, sections=("table99",))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(scale=0)
+
+    def test_charts_included(self, smoke_report):
+        # Figure sections embed ASCII charts with a marker legend.
+        assert "o=" in smoke_report
+
+    def test_sections_constant_matches(self):
+        assert len(REPORT_SECTIONS) == 8

@@ -1,0 +1,88 @@
+"""Unit tests for the ConTinEst reimplementation."""
+
+import pytest
+
+from repro.baselines.continest import ContinEstEstimator, continest_top_k
+from repro.baselines.static import transmission_weighted_graph
+from repro.core.interactions import InteractionLog
+
+
+@pytest.fixture
+def hub_log():
+    """A hub rapidly mailing six users, plus an isolated pair."""
+    records = [("hub", f"u{i}", i + 1) for i in range(6)]
+    records.append(("x", "y", 50))
+    return InteractionLog(records)
+
+
+class TestEstimator:
+    def test_influence_of_hub_exceeds_leaf(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        estimator = ContinEstEstimator(
+            graph, weights, horizon=100.0, num_samples=4, num_labels=6, rng=1
+        )
+        assert estimator.influence(["hub"]) > estimator.influence(["u0"])
+
+    def test_influence_empty_seed_set(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        estimator = ContinEstEstimator(graph, weights, horizon=10.0, rng=1)
+        assert estimator.influence([]) == 0.0
+
+    def test_influence_monotone_in_seeds(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        estimator = ContinEstEstimator(
+            graph, weights, horizon=100.0, num_samples=4, num_labels=6, rng=1
+        )
+        single = estimator.influence(["hub"])
+        double = estimator.influence(["hub", "x"])
+        assert double >= single - 1e-9
+
+    def test_estimates_in_plausible_range(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        estimator = ContinEstEstimator(
+            graph, weights, horizon=1_000.0, num_samples=5, num_labels=8, rng=2
+        )
+        estimate = estimator.influence(["hub"])
+        # Hub reaches itself + 6 users; the estimator is noisy but bounded.
+        assert 1.0 < estimate < 20.0
+
+    def test_rejects_bad_parameters(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        with pytest.raises(ValueError):
+            ContinEstEstimator(graph, weights, horizon=0)
+        with pytest.raises(ValueError):
+            ContinEstEstimator(graph, weights, horizon=1.0, num_labels=1)
+        with pytest.raises(ValueError):
+            ContinEstEstimator(graph, weights, horizon=1.0, num_samples=0)
+
+    def test_deterministic_given_rng(self, hub_log):
+        graph, weights = transmission_weighted_graph(hub_log)
+        a = ContinEstEstimator(graph, weights, horizon=50.0, rng=9)
+        b = ContinEstEstimator(graph, weights, horizon=50.0, rng=9)
+        assert a.influence(["hub"]) == b.influence(["hub"])
+
+
+class TestSelection:
+    def test_first_seed_is_hub(self, hub_log):
+        seeds = continest_top_k(hub_log, 1, horizon=100.0, rng=3)
+        assert seeds == ["hub"]
+
+    def test_second_seed_from_disjoint_component(self, hub_log):
+        seeds = continest_top_k(
+            hub_log, 2, horizon=100.0, num_samples=4, num_labels=6, rng=3
+        )
+        assert seeds[0] == "hub"
+        assert seeds[1] in {"x", "y"}
+
+    def test_nested_prefixes(self, hub_log):
+        a = continest_top_k(hub_log, 2, horizon=100.0, rng=4)
+        b = continest_top_k(hub_log, 3, horizon=100.0, rng=4)
+        assert b[:2] == a
+
+    def test_default_horizon_is_full_span(self, hub_log):
+        seeds = continest_top_k(hub_log, 1, rng=5)
+        assert len(seeds) == 1
+
+    def test_rejects_bad_k(self, hub_log):
+        with pytest.raises(ValueError):
+            continest_top_k(hub_log, 0)

@@ -1,0 +1,81 @@
+"""Unit tests for HighDegree and SmartHighDegree baselines."""
+
+import pytest
+
+from repro.baselines.degree import high_degree_top_k, smart_high_degree_top_k
+from repro.core.interactions import InteractionLog
+
+
+@pytest.fixture
+def overlap_log():
+    """a and b both mail {x, y, z}; c mails {p, q}.
+
+    HD picks a then b (degree 3 each); SHD picks a then c because b's
+    neighbours are already covered.
+    """
+    records = []
+    t = 1
+    for source in ("a", "b"):
+        for target in ("x", "y", "z"):
+            records.append((source, target, t))
+            t += 1
+    for target in ("p", "q"):
+        records.append(("c", target, t))
+        t += 1
+    return InteractionLog(records)
+
+
+class TestHighDegree:
+    def test_ranks_by_distinct_out_degree(self, overlap_log):
+        seeds = high_degree_top_k(overlap_log, 2)
+        assert set(seeds) == {"a", "b"}
+
+    def test_repeated_interactions_not_double_counted(self):
+        log = InteractionLog(
+            [("a", "x", 1), ("a", "x", 2), ("a", "x", 3), ("b", "y", 4), ("b", "z", 5)]
+        )
+        assert high_degree_top_k(log, 1) == ["b"]
+
+    def test_k_larger_than_nodes(self, overlap_log):
+        assert len(high_degree_top_k(overlap_log, 100)) == 8
+
+    def test_rejects_bad_k(self, overlap_log):
+        with pytest.raises(ValueError):
+            high_degree_top_k(overlap_log, 0)
+
+
+class TestSmartHighDegree:
+    def test_avoids_overlapping_seeds(self, overlap_log):
+        seeds = smart_high_degree_top_k(overlap_log, 2)
+        assert seeds[0] in {"a", "b"}
+        assert seeds[1] == "c"
+
+    def test_first_seed_matches_high_degree(self, overlap_log):
+        assert smart_high_degree_top_k(overlap_log, 1)[0] in {"a", "b"}
+
+    def test_covers_more_than_high_degree(self, overlap_log):
+        """SHD's 2 seeds cover 5 distinct targets, HD's only 3."""
+        from repro.baselines.static import flatten
+
+        graph = flatten(overlap_log)
+
+        def coverage(seeds):
+            covered = set()
+            for seed in seeds:
+                covered |= graph.out_neighbours(seed)
+            return len(covered)
+
+        assert coverage(smart_high_degree_top_k(overlap_log, 2)) > coverage(
+            high_degree_top_k(overlap_log, 2)
+        )
+
+    def test_deterministic(self, overlap_log):
+        assert smart_high_degree_top_k(overlap_log, 3) == smart_high_degree_top_k(
+            overlap_log, 3
+        )
+
+    def test_rejects_bad_inputs(self, overlap_log):
+        with pytest.raises(ValueError):
+            smart_high_degree_top_k(overlap_log, -2)
+        with pytest.raises(TypeError):
+            smart_high_degree_top_k([("a", "b", 1)], 2)

@@ -1,0 +1,147 @@
+"""Unit tests for the Kempe-style IC greedy baseline."""
+
+import pytest
+
+from repro.baselines.ic_greedy import (
+    estimate_ic_spread,
+    ic_greedy_top_k,
+    simulate_ic,
+)
+from repro.baselines.static import StaticGraph, flatten
+from repro.core.interactions import InteractionLog
+
+
+@pytest.fixture
+def chain_graph():
+    graph = StaticGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("c", "d")
+    return graph
+
+
+class TestSimulateIc:
+    def test_p1_reaches_closure(self, chain_graph):
+        active = simulate_ic(chain_graph, ["a"], probability=1.0)
+        assert active == {"a", "b", "c", "d"}
+
+    def test_p0_keeps_only_seeds(self, chain_graph):
+        active = simulate_ic(chain_graph, ["a"], probability=0.0, rng=1)
+        assert active == {"a"}
+
+    def test_unknown_seeds_ignored(self, chain_graph):
+        active = simulate_ic(chain_graph, ["ghost"], probability=1.0)
+        assert active == set()
+
+    def test_deterministic_given_rng(self, chain_graph):
+        first = simulate_ic(chain_graph, ["a"], 0.5, rng=7)
+        second = simulate_ic(chain_graph, ["a"], 0.5, rng=7)
+        assert first == second
+
+    def test_single_activation_attempt_per_edge(self):
+        """Each edge gets exactly one coin flip: with p=0.5 and 400 trials
+        a direct neighbour is active roughly half the time."""
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        hits = sum(
+            "b" in simulate_ic(graph, ["a"], 0.5, rng=seed) for seed in range(400)
+        )
+        assert 140 < hits < 260
+
+    def test_rejects_bad_probability(self, chain_graph):
+        with pytest.raises(ValueError):
+            simulate_ic(chain_graph, ["a"], 1.5)
+
+
+class TestEstimateIcSpread:
+    def test_p1_exact(self, chain_graph):
+        assert estimate_ic_spread(chain_graph, ["a"], 1.0) == 4.0
+
+    def test_monotone_in_probability(self, chain_graph):
+        low = estimate_ic_spread(chain_graph, ["a"], 0.2, runs=300, rng=1)
+        high = estimate_ic_spread(chain_graph, ["a"], 0.8, runs=300, rng=1)
+        assert low <= high
+
+    def test_rejects_bad_runs(self, chain_graph):
+        with pytest.raises(ValueError):
+            estimate_ic_spread(chain_graph, ["a"], 0.5, runs=0)
+
+
+class TestIcGreedyTopK:
+    @pytest.fixture
+    def two_star_log(self):
+        """Two disjoint stars — greedy must take one hub from each."""
+        records = [("hub1", f"a{i}", i + 1) for i in range(6)]
+        records += [("hub2", f"b{i}", i + 10) for i in range(5)]
+        return InteractionLog(records)
+
+    def test_selects_hubs(self, two_star_log):
+        seeds = ic_greedy_top_k(two_star_log, 2, probability=1.0, runs=1, rng=1)
+        assert set(seeds) == {"hub1", "hub2"}
+
+    def test_prefix_nested(self, two_star_log):
+        one = ic_greedy_top_k(two_star_log, 1, probability=1.0, runs=1, rng=1)
+        two = ic_greedy_top_k(two_star_log, 2, probability=1.0, runs=1, rng=1)
+        assert two[:1] == one
+
+    def test_candidates_restriction(self, two_star_log):
+        seeds = ic_greedy_top_k(
+            two_star_log, 1, probability=1.0, runs=1, rng=1, candidates=["hub2", "a0"]
+        )
+        assert seeds == ["hub2"]
+
+    def test_rejects_bad_k(self, two_star_log):
+        with pytest.raises(ValueError):
+            ic_greedy_top_k(two_star_log, 0)
+
+    def test_close_to_exact_greedy_at_p1(self):
+        """At p = 1, IC spread equals static reachability, so the seeds
+        should cover like exact max-coverage greedy."""
+        log = InteractionLog(
+            [("a", "b", 1), ("b", "c", 2), ("d", "e", 3), ("d", "f", 4), ("g", "h", 5)]
+        )
+        graph = flatten(log)
+        seeds = ic_greedy_top_k(log, 2, probability=1.0, runs=1, rng=3)
+        covered = set()
+        for seed in seeds:
+            covered |= graph.reachable_from(seed) | {seed}
+        assert len(covered) >= 6  # a-chain (3) + d-star (3)
+
+
+class TestDegreeDiscount:
+    def test_discount_shifts_second_pick(self):
+        """hub1 and hub2 share all neighbours; a third node has fresh ones.
+        After seeding hub1, hub2's discounted score collapses."""
+        from repro.baselines.degree import degree_discount_top_k
+
+        records = []
+        t = 1
+        for hub in ("hub1", "hub2"):
+            for i in range(4):
+                records.append((hub, f"shared{i}", t))
+                t += 1
+        for i in range(3):
+            records.append(("fresh", f"own{i}", t))
+            t += 1
+        # hub1/hub2 also point at each other's audience head-on:
+        records.append(("hub1", "hub2", t))
+        log = InteractionLog(records)
+        seeds = degree_discount_top_k(log, 2, probability=0.5)
+        assert seeds[0] == "hub1"  # degree 5 (4 shared + hub2)
+        assert seeds[1] == "fresh"
+
+    def test_matches_high_degree_with_zero_probability_and_no_overlap(self):
+        from repro.baselines.degree import degree_discount_top_k, high_degree_top_k
+
+        records = [(f"s{j}", f"t{j}_{i}", j * 10 + i) for j in range(4) for i in range(j + 1)]
+        log = InteractionLog(records)
+        assert degree_discount_top_k(log, 2, probability=0.0) == high_degree_top_k(
+            log, 2
+        )
+
+    def test_rejects_bad_probability(self):
+        from repro.baselines.degree import degree_discount_top_k
+
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(ValueError):
+            degree_discount_top_k(log, 1, probability=2.0)

@@ -1,0 +1,108 @@
+"""Unit tests for static-graph flattening and the StaticGraph container."""
+
+import pytest
+
+from repro.baselines.static import StaticGraph, flatten, transmission_weighted_graph
+from repro.core.interactions import InteractionLog
+
+
+class TestStaticGraph:
+    def test_add_edge_creates_nodes(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        assert graph.nodes == {"a", "b"}
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_edge_idempotent(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        assert graph.num_edges == 1
+
+    def test_degrees(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        graph.add_edge("b", "c")
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("c") == 2
+        assert graph.out_degree("missing") == 0
+
+    def test_neighbour_sets(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        assert graph.out_neighbours("a") == {"b"}
+        assert graph.in_neighbours("b") == {"a"}
+        assert graph.out_neighbours("zzz") == set()
+
+    def test_reachable_from(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("x", "y")
+        assert graph.reachable_from("a") == {"b", "c"}
+        assert graph.reachable_from("c") == set()
+
+    def test_reachable_from_handles_cycles(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert graph.reachable_from("a") == {"a", "b"}
+
+    def test_reversed(self):
+        graph = StaticGraph()
+        graph.add_edge("a", "b")
+        graph.add_node("lonely")
+        flipped = graph.reversed()
+        assert flipped.has_edge("b", "a")
+        assert not flipped.has_edge("a", "b")
+        assert "lonely" in flipped.nodes
+
+
+class TestFlatten:
+    def test_dedups_repeated_interactions(self):
+        log = InteractionLog([("a", "b", 1), ("a", "b", 5), ("a", "b", 9)])
+        graph = flatten(log)
+        assert graph.num_edges == 1
+
+    def test_keeps_both_directions(self):
+        log = InteractionLog([("a", "b", 1), ("b", "a", 2)])
+        graph = flatten(log)
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+
+    def test_all_nodes_present(self):
+        log = InteractionLog([("a", "b", 1)])
+        assert flatten(log).nodes == {"a", "b"}
+
+    def test_rejects_non_log(self):
+        with pytest.raises(TypeError):
+            flatten([("a", "b", 1)])
+
+
+class TestTransmissionWeights:
+    def test_weight_is_delay_from_first_source_time(self):
+        """Paper §6: weight of (u, v, t) is t − u_i where u_i is u's first
+        time as a source."""
+        log = InteractionLog([("u", "a", 10), ("u", "b", 17)])
+        _, weights = transmission_weighted_graph(log)
+        # First interaction gets the floor weight 1.0; second is 17-10=7.
+        assert weights[("u", "a")] == 1.0
+        assert weights[("u", "b")] == 7.0
+
+    def test_repeated_edges_keep_minimum(self):
+        log = InteractionLog([("u", "a", 10), ("u", "a", 30)])
+        _, weights = transmission_weighted_graph(log)
+        assert weights[("u", "a")] == 1.0
+
+    def test_graph_matches_weight_keys(self):
+        log = InteractionLog([("u", "a", 1), ("a", "b", 5)])
+        graph, weights = transmission_weighted_graph(log)
+        for source, target in weights:
+            assert graph.has_edge(source, target)
+
+    def test_floor_of_one(self):
+        log = InteractionLog([("u", "a", 10)])
+        _, weights = transmission_weighted_graph(log)
+        assert weights[("u", "a")] >= 1.0

@@ -1,0 +1,179 @@
+"""Unit + property tests for the sketch-based approximate IRS algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+from repro.datasets.generators import uniform_network
+
+
+class TestBasics:
+    def test_empty_log(self):
+        index = ApproxIRS.from_log(InteractionLog([]), window=3, precision=4)
+        assert list(index.nodes) == []
+
+    def test_single_edge_estimate_near_one(self):
+        index = ApproxIRS.from_log(
+            InteractionLog([("a", "b", 4)]), window=1, precision=6
+        )
+        assert 0.5 < index.irs_estimate("a") < 2.0
+        assert index.irs_estimate("b") == pytest.approx(0.0)
+
+    def test_window_zero_gives_empty_sketches(self):
+        index = ApproxIRS.from_log(
+            InteractionLog([("a", "b", 4)]), window=0, precision=6
+        )
+        assert index.irs_estimate("a") == pytest.approx(0.0)
+
+    def test_unknown_node_estimates_zero(self):
+        index = ApproxIRS.from_log(
+            InteractionLog([("a", "b", 1)]), window=3, precision=6
+        )
+        assert index.irs_estimate("nope") == 0.0
+        assert index.registers("nope") == [0] * 64
+
+    def test_self_loops_skipped(self):
+        log = InteractionLog([("a", "a", 1), ("a", "b", 2)], allow_self_loops=True)
+        index = ApproxIRS.from_log(log, window=5, precision=6)
+        assert index.irs_estimate("a") < 2.0
+
+    def test_rejects_forward_order(self):
+        index = ApproxIRS(window=3, precision=6)
+        index.process("a", "b", 5)
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            index.process("b", "c", 6)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ApproxIRS(window=-2, precision=6)
+        with pytest.raises(TypeError):
+            ApproxIRS(window="3", precision=6)
+
+    def test_properties_exposed(self):
+        index = ApproxIRS(window=3, precision=7, salt=2)
+        assert index.window == 3
+        assert index.precision == 7
+        assert index.num_cells == 128
+
+
+class TestAgreementWithExact:
+    """With β much larger than the true IRS sizes, HLL's linear-counting
+    regime makes estimates nearly exact — the approximate index must then
+    agree closely with the exact one."""
+
+    def test_paper_log(self, paper_log):
+        """The sketch counts self-reaching cycles (see ApproxIRS notes):
+        node e lies on the cycle e→b@4, b→e@6 of duration 3, so its
+        estimate tracks |σ(e)| + 1; every other node tracks |σ| exactly."""
+        exact = ExactIRS.from_log(paper_log, window=3)
+        approx = ApproxIRS.from_log(paper_log, window=3, precision=8)
+        for node in paper_log.nodes:
+            true = exact.irs_size(node) + (1 if node == "e" else 0)
+            estimate = approx.irs_estimate(node)
+            assert estimate == pytest.approx(true, rel=0.15, abs=0.6), node
+
+    def test_generated_log_sizes(self, tiny_uniform_log):
+        window = 200
+        exact = ExactIRS.from_log(tiny_uniform_log, window)
+        approx = ApproxIRS.from_log(tiny_uniform_log, window, precision=9)
+        for node in tiny_uniform_log.nodes:
+            true = exact.irs_size(node)
+            estimate = approx.irs_estimate(node)
+            assert estimate == pytest.approx(true, rel=0.2, abs=1.0)
+
+    def test_spread_estimates_union(self, tiny_uniform_log):
+        window = 200
+        exact = ExactIRS.from_log(tiny_uniform_log, window)
+        approx = ApproxIRS.from_log(tiny_uniform_log, window, precision=9)
+        nodes = sorted(tiny_uniform_log.nodes, key=repr)[:6]
+        true = exact.spread(nodes)
+        estimate = approx.spread(nodes)
+        assert estimate == pytest.approx(true, rel=0.2, abs=1.5)
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=25),
+            ),
+            max_size=20,
+        ),
+        window=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_close_to_exact_on_tiny_logs(self, edges, window):
+        """At high precision and tiny cardinalities (≤ 5), the estimate is
+        within one of the truth plus the possible self-cycle item (linear
+        counting is near-exact there)."""
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        exact = ExactIRS.from_log(log, window)
+        approx = ApproxIRS.from_log(log, window, precision=10)
+        for node in log.nodes:
+            estimate = approx.irs_estimate(node)
+            true = exact.irs_size(node)
+            assert true - 1.0 <= estimate <= true + 2.1
+
+    def test_average_error_shrinks_with_precision(self):
+        """Table 3's trend: the error falls as β grows."""
+        log = uniform_network(60, 700, 2_000, rng=11)
+        window = 600
+        exact_sizes = ExactIRS.from_log(log, window).irs_sizes()
+
+        def average_error(precision: int) -> float:
+            approx = ApproxIRS.from_log(log, window, precision=precision)
+            errors = []
+            for node, true in exact_sizes.items():
+                if true == 0:
+                    continue
+                errors.append(abs(approx.irs_estimate(node) - true) / true)
+            return sum(errors) / len(errors)
+
+        coarse = average_error(4)
+        fine = average_error(9)
+        assert fine < coarse
+
+    def test_estimates_monotone_in_window(self):
+        log = uniform_network(30, 300, 1_000, rng=3)
+        small = ApproxIRS.from_log(log, 50, precision=8)
+        large = ApproxIRS.from_log(log, 800, precision=8)
+        # Register-wise, a larger window can only add entries, so every
+        # node's estimate is at least as large.
+        for node in log.nodes:
+            assert large.irs_estimate(node) >= small.irs_estimate(node) - 1e-9
+
+
+class TestAccounting:
+    def test_entry_count_positive_after_build(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        assert index.entry_count() > 0
+
+    def test_max_cell_length_at_least_one(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        assert index.max_cell_length() >= 1
+
+    def test_entry_count_grows_with_window(self, small_email_log):
+        small = ApproxIRS.from_log(small_email_log, 20, precision=7)
+        large = ApproxIRS.from_log(
+            small_email_log, small_email_log.time_span, precision=7
+        )
+        assert large.entry_count() >= small.entry_count()
+
+
+class TestSketchAccess:
+    def test_sketch_returned_for_known_node(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        sketch = index.sketch("a")
+        assert sketch.cardinality() == index.irs_estimate("a")
+
+    def test_sketch_for_unknown_node_is_empty(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        assert index.sketch("zzz").is_empty()
+
+    def test_irs_estimates_bulk(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        table = index.irs_estimates()
+        assert set(table) == set(paper_log.nodes)

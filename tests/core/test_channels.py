@@ -1,0 +1,206 @@
+"""Unit tests for the brute-force channel reference implementations."""
+
+import pytest
+
+from repro.core.channels import (
+    all_reachability_sets,
+    channel_duration,
+    channel_end,
+    enumerate_channels,
+    fastest_channel_duration,
+    has_channel,
+    reachability_set,
+    reachability_summary,
+)
+from repro.core.interactions import Interaction, InteractionLog
+
+
+class TestChannelHelpers:
+    def test_duration_single_edge(self):
+        assert channel_duration([Interaction("a", "b", 5)]) == 1
+
+    def test_duration_multi_edge(self):
+        channel = [Interaction("a", "b", 2), Interaction("b", "c", 7)]
+        assert channel_duration(channel) == 6
+
+    def test_end_time(self):
+        channel = [Interaction("a", "b", 2), Interaction("b", "c", 7)]
+        assert channel_end(channel) == 7
+
+    def test_empty_channel_rejected(self):
+        with pytest.raises(ValueError):
+            channel_duration([])
+        with pytest.raises(ValueError):
+            channel_end([])
+
+
+class TestReachability:
+    def test_direct_edge(self):
+        log = InteractionLog([("a", "b", 1)])
+        assert reachability_set(log, "a", 5) == {"b"}
+        assert reachability_set(log, "b", 5) == set()
+
+    def test_figure1_intro_claim(self):
+        """Figure 1a: 'there is an information channel from a to e, but not
+        from a to f' (with unbounded window)."""
+        log = InteractionLog(
+            [
+                ("a", "d", 1),
+                ("e", "f", 2),
+                ("d", "e", 3),
+                ("e", "b", 4),
+                ("a", "b", 5),
+                ("b", "e", 6),
+                ("e", "c", 7),
+                ("b", "c", 8),
+            ]
+        )
+        full = log.time_span
+        assert "e" in reachability_set(log, "a", full)
+        assert "f" not in reachability_set(log, "a", full)
+
+    def test_time_order_respected(self):
+        # b->c happens BEFORE a->b: no channel a->c.
+        log = InteractionLog([("b", "c", 1), ("a", "b", 2)])
+        assert reachability_set(log, "a", 10) == {"b"}
+
+    def test_equal_times_do_not_chain(self):
+        log = InteractionLog([("a", "b", 5), ("b", "c", 5)])
+        assert reachability_set(log, "a", 10) == {"b"}
+
+    def test_window_zero_is_empty(self):
+        log = InteractionLog([("a", "b", 1)])
+        assert reachability_set(log, "a", 0) == set()
+
+    def test_window_one_allows_single_edges_only(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        assert reachability_set(log, "a", 1) == {"b"}
+        assert reachability_set(log, "a", 2) == {"b", "c"}
+
+    def test_source_not_in_own_set(self):
+        log = InteractionLog([("a", "b", 1), ("b", "a", 2)])
+        assert "a" not in reachability_set(log, "a", 10)
+
+    def test_monotone_in_window(self):
+        log = InteractionLog(
+            [("a", "b", 1), ("b", "c", 4), ("c", "d", 9), ("a", "e", 10)]
+        )
+        previous = set()
+        for window in range(0, 12):
+            current = reachability_set(log, "a", window)
+            assert previous.issubset(current)
+            previous = current
+
+    def test_paper_sigma_examples_figure2_style(self):
+        """σ3(a) grows to σ5(a) as the paper's Figure 2 narrative describes:
+        longer windows admit longer channels."""
+        log = InteractionLog(
+            [("a", "b", 1), ("a", "d", 2), ("b", "c", 3), ("d", "f", 6)]
+        )
+        assert reachability_set(log, "a", 3) == {"b", "c", "d"}
+        assert reachability_set(log, "a", 5) == {"b", "c", "d", "f"}
+
+    def test_all_reachability_sets_covers_every_node(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        sets = all_reachability_sets(log, 10)
+        assert set(sets) == {"a", "b", "c"}
+        assert sets["a"] == {"b", "c"}
+        assert sets["c"] == set()
+
+    def test_rejects_negative_window(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(ValueError):
+            reachability_set(log, "a", -1)
+
+    def test_rejects_float_window(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(TypeError):
+            reachability_set(log, "a", 2.0)
+
+
+class TestReachabilitySummary:
+    def test_lambda_is_min_end_time(self):
+        """Example 1 of the paper: two c→f channels end at 8 and 5;
+        λ(c, f) = 5."""
+        log = InteractionLog(
+            [("c", "e", 3), ("c", "f", 5), ("e", "f", 8)],
+        )
+        summary = reachability_summary(log, "c", 3)
+        assert summary["f"] == 5
+
+    def test_direct_edge_lambda(self):
+        log = InteractionLog([("a", "b", 7)])
+        assert reachability_summary(log, "a", 3) == {"b": 7}
+
+    def test_multi_hop_lambda(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 3)])
+        assert reachability_summary(log, "a", 5) == {"b": 1, "c": 3}
+
+
+class TestEnumerateChannels:
+    def test_yields_all_channels(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("a", "c", 3)])
+        channels = list(enumerate_channels(log, "a"))
+        # a->b; a->b->c; a->c
+        assert len(channels) == 3
+
+    def test_target_filter(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("a", "c", 3)])
+        channels = list(enumerate_channels(log, "a", target="c"))
+        assert len(channels) == 2
+        assert all(channel[-1].target == "c" for channel in channels)
+
+    def test_window_filter(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 9)])
+        assert len(list(enumerate_channels(log, "a", window=3))) == 1
+        assert len(list(enumerate_channels(log, "a", window=9))) == 2
+
+    def test_channels_strictly_increasing(self):
+        log = InteractionLog(
+            [("a", "b", 1), ("b", "a", 2), ("a", "b", 3), ("b", "c", 4)]
+        )
+        for channel in enumerate_channels(log, "a"):
+            times = [record.time for record in channel]
+            assert times == sorted(set(times))
+
+    def test_budget_guard(self):
+        # A dense log with many channels trips the budget.
+        records = []
+        for t in range(16):
+            records.append((f"n{t % 4}", f"n{(t + 1) % 4}", t))
+        log = InteractionLog(records)
+        with pytest.raises(RuntimeError, match="max_channels"):
+            list(enumerate_channels(log, "n0", max_channels=5))
+
+    def test_matches_reachability(self, tiny_uniform_log):
+        """Channel enumeration and the scan-based reachability agree."""
+        window = 80
+        for source in sorted(tiny_uniform_log.nodes, key=repr)[:5]:
+            via_enum = {
+                channel[-1].target
+                for channel in enumerate_channels(
+                    tiny_uniform_log, source, window=window
+                )
+            } - {source}
+            assert via_enum == reachability_set(tiny_uniform_log, source, window)
+
+
+class TestHasChannelAndFastest:
+    def test_has_channel(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 5)])
+        assert has_channel(log, "a", "c")
+        assert not has_channel(log, "c", "a")
+        assert not has_channel(log, "a", "c", window=2)
+
+    def test_fastest_duration(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 5), ("a", "c", 20)])
+        # a->c via b: dur 5; direct at t=20: dur 1.
+        assert fastest_channel_duration(log, "a", "c") == 1
+
+    def test_fastest_duration_multi_hop_only(self):
+        log = InteractionLog([("a", "b", 2), ("b", "c", 5)])
+        assert fastest_channel_duration(log, "a", "c") == 4
+
+    def test_fastest_none_when_unreachable(self):
+        log = InteractionLog([("a", "b", 1)])
+        assert fastest_channel_duration(log, "b", "a") is None

@@ -1,0 +1,198 @@
+"""Unit + property tests for the exact one-pass IRS algorithm.
+
+The key correctness evidence: (1) the paper's fully worked Example 2 is
+reproduced state-for-state, and (2) on arbitrary generated logs the one-pass
+summaries coincide with the brute-force channel-definition reference.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channels import all_reachability_summaries
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+
+
+EXPECTED_EXAMPLE2 = {
+    "a": {"b": 5, "c": 7, "e": 3, "d": 1},
+    "b": {"c": 7, "e": 6},
+    "c": {},
+    "d": {"e": 3, "b": 4},
+    "e": {"c": 7, "b": 4, "f": 2},
+    "f": {},
+}
+
+
+class TestPaperExample2:
+    def test_final_summaries(self, paper_log):
+        index = ExactIRS.from_log(paper_log, window=3)
+        for node, expected in EXPECTED_EXAMPLE2.items():
+            assert index.summary(node).to_dict() == expected, node
+
+    def test_intermediate_state_after_three_edges(self, paper_log):
+        """After processing (b,c,8), (e,c,7), (b,e,6) the paper's trace
+        shows ϕ(b) = {(c,7),(e,6)} — the (c,8) entry is *updated* to 7."""
+        index = ExactIRS(window=3)
+        index.process("b", "c", 8)
+        index.process("e", "c", 7)
+        index.process("b", "e", 6)
+        assert index.summary("b").to_dict() == {"c": 7, "e": 6}
+        assert index.summary("e").to_dict() == {"c": 7}
+
+    def test_window_merge_exclusion_in_trace(self, paper_log):
+        """During edge (a,b,5) the trace ignores (e,6→8?) — concretely:
+        merging ϕ(b) into ϕ(a) keeps (c,7) (duration 3) and (e,6)
+        (duration 2); a later (a,d,1) merge takes (e,3) but NOT (b,4)
+        (duration 4 > ω)."""
+        index = ExactIRS.from_log(paper_log, window=3)
+        assert index.summary("a").earliest_end("e") == 3
+        assert index.summary("a").earliest_end("b") == 5  # direct, not via d
+
+
+class TestBasicBehaviour:
+    def test_empty_log(self):
+        index = ExactIRS.from_log(InteractionLog([]), window=3)
+        assert list(index.nodes) == []
+
+    def test_single_edge(self):
+        index = ExactIRS.from_log(InteractionLog([("a", "b", 4)]), window=1)
+        assert index.reachability_set("a") == {"b"}
+        assert index.reachability_set("b") == set()
+
+    def test_window_zero_gives_empty_sets(self):
+        index = ExactIRS.from_log(InteractionLog([("a", "b", 4)]), window=0)
+        assert index.reachability_set("a") == set()
+
+    def test_sink_nodes_have_summaries(self):
+        index = ExactIRS.from_log(InteractionLog([("a", "b", 1)]), window=5)
+        assert "b" in set(index.nodes)
+
+    def test_self_loops_skipped(self):
+        log = InteractionLog(
+            [("a", "a", 1), ("a", "b", 2)], allow_self_loops=True
+        )
+        index = ExactIRS.from_log(log, window=5)
+        assert index.reachability_set("a") == {"b"}
+
+    def test_no_self_entries_from_cycles(self):
+        log = InteractionLog([("a", "b", 1), ("b", "a", 2)])
+        index = ExactIRS.from_log(log, window=5)
+        assert "a" not in index.reachability_set("a")
+        assert "b" not in index.reachability_set("b")
+
+    def test_unknown_node_empty_summary(self):
+        index = ExactIRS.from_log(InteractionLog([("a", "b", 1)]), window=5)
+        assert index.reachability_set("zzz") == set()
+        assert index.irs_size("zzz") == 0
+
+    def test_irs_sizes(self, paper_log):
+        index = ExactIRS.from_log(paper_log, window=3)
+        sizes = index.irs_sizes()
+        assert sizes["a"] == 4
+        assert sizes["c"] == 0
+
+    def test_entry_count(self, paper_log):
+        index = ExactIRS.from_log(paper_log, window=3)
+        assert index.entry_count() == sum(
+            len(v) for v in EXPECTED_EXAMPLE2.values()
+        )
+
+    def test_spread_unions_summaries(self, paper_log):
+        index = ExactIRS.from_log(paper_log, window=3)
+        assert index.spread(["a"]) == 4
+        # σ(a) = {b,c,d,e}; σ(e) = {b,c,f} → union has 5 elements.
+        assert index.spread(["a", "e"]) == 5
+        assert index.spread([]) == 0
+
+
+class TestProcessOrdering:
+    def test_rejects_forward_order(self):
+        index = ExactIRS(window=3)
+        index.process("a", "b", 5)
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            index.process("b", "c", 6)
+
+    def test_equal_times_rejected_by_incremental_api(self):
+        """Tied stamps would let process() wrongly chain simultaneous edges;
+        the incremental API refuses them (from_log batches them instead)."""
+        index = ExactIRS(window=3)
+        index.process("a", "b", 5)
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            index.process("b", "c", 5)
+
+    def test_from_log_handles_tied_stamps(self):
+        """(0,1,0) and (1,2,0) share a stamp: they must NOT chain into a
+        channel 0→2 (Definition 1 needs strictly increasing times)."""
+        log = InteractionLog([(0, 1, 0), (1, 2, 0)])
+        index = ExactIRS.from_log(log, window=5)
+        assert index.reachability_set(0) == {1}
+        assert index.reachability_set(1) == {2}
+
+    def test_from_log_tied_stamps_match_brute_force(self):
+        log = InteractionLog(
+            [("a", "b", 1), ("b", "c", 1), ("c", "d", 2), ("b", "d", 2), ("a", "c", 3)]
+        )
+        for window in (0, 1, 2, 3, 5):
+            index = ExactIRS.from_log(log, window)
+            brute = all_reachability_summaries(log, window)
+            for node in log.nodes:
+                assert index.summary(node).to_dict() == brute[node], (node, window)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ExactIRS(window=-1)
+        with pytest.raises(TypeError):
+            ExactIRS(window=2.5)
+
+    def test_rejects_bad_time(self):
+        index = ExactIRS(window=3)
+        with pytest.raises(TypeError):
+            index.process("a", "b", "yesterday")
+
+
+class TestAgainstBruteForce:
+    def test_paper_log_all_windows(self, paper_log):
+        for window in range(0, 10):
+            index = ExactIRS.from_log(paper_log, window)
+            brute = all_reachability_summaries(paper_log, window)
+            for node in paper_log.nodes:
+                assert index.summary(node).to_dict() == brute[node], (node, window)
+
+    def test_random_log(self, tiny_uniform_log):
+        for window in (1, 25, 100, 500):
+            index = ExactIRS.from_log(tiny_uniform_log, window)
+            brute = all_reachability_summaries(tiny_uniform_log, window)
+            for node in tiny_uniform_log.nodes:
+                assert index.summary(node).to_dict() == brute[node]
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=25,
+        ),
+        window=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_equivalence(self, edges, window):
+        """On arbitrary small logs, the one-pass summaries equal the literal
+        Definition 1/2/4 reference (λ included, not just set membership)."""
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        index = ExactIRS.from_log(log, window)
+        brute = all_reachability_summaries(log, window)
+        for node in log.nodes:
+            assert index.summary(node).to_dict() == brute[node]
+
+    def test_window_monotonicity(self, tiny_uniform_log):
+        """σω(u) grows with ω (paper §2: larger windows admit more paths)."""
+        previous = {node: set() for node in tiny_uniform_log.nodes}
+        for window in (0, 10, 50, 200, 500):
+            index = ExactIRS.from_log(tiny_uniform_log, window)
+            for node in tiny_uniform_log.nodes:
+                current = index.reachability_set(node)
+                assert previous[node].issubset(current)
+                previous[node] = current

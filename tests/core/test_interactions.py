@@ -1,0 +1,190 @@
+"""Unit tests for the interaction-network data model."""
+
+import io
+
+import pytest
+
+from repro.core.interactions import Interaction, InteractionLog
+
+
+class TestInteraction:
+    def test_fields(self):
+        record = Interaction("a", "b", 3)
+        assert record.source == "a"
+        assert record.target == "b"
+        assert record.time == 3
+
+    def test_reversed(self):
+        assert Interaction("a", "b", 3).reversed() == Interaction("b", "a", 3)
+
+    def test_is_tuple(self):
+        source, target, time = Interaction("a", "b", 3)
+        assert (source, target, time) == ("a", "b", 3)
+
+
+class TestConstruction:
+    def test_from_triples(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        assert log.num_interactions == 2
+
+    def test_from_interactions(self):
+        log = InteractionLog([Interaction("a", "b", 1)])
+        assert log[0] == Interaction("a", "b", 1)
+
+    def test_sorts_by_time(self):
+        log = InteractionLog([("a", "b", 5), ("b", "c", 1), ("c", "d", 3)])
+        assert [r.time for r in log] == [1, 3, 5]
+
+    def test_sort_is_stable_for_ties(self):
+        log = InteractionLog([("a", "b", 1), ("c", "d", 1)])
+        assert log[0].source == "a"
+        assert log[1].source == "c"
+
+    def test_empty_log(self):
+        log = InteractionLog([])
+        assert log.num_interactions == 0
+        assert log.num_nodes == 0
+        assert log.min_time is None
+        assert log.max_time is None
+        assert log.time_span == 0
+
+    def test_rejects_self_loop_by_default(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            InteractionLog([("a", "a", 1)])
+
+    def test_allows_self_loop_when_asked(self):
+        log = InteractionLog([("a", "a", 1)], allow_self_loops=True)
+        assert log.num_interactions == 1
+
+    def test_rejects_float_time(self):
+        with pytest.raises(TypeError, match="time must be an int"):
+            InteractionLog([("a", "b", 1.5)])
+
+    def test_rejects_bool_time(self):
+        with pytest.raises(TypeError):
+            InteractionLog([("a", "b", True)])
+
+    def test_rejects_malformed_record(self):
+        with pytest.raises(TypeError, match="triple"):
+            InteractionLog([("a", "b")])
+
+    def test_negative_times_allowed(self):
+        log = InteractionLog([("a", "b", -5)])
+        assert log.min_time == -5
+
+
+class TestViews:
+    def test_forward_iteration_increasing(self):
+        log = InteractionLog([("a", "b", 2), ("b", "c", 1)])
+        times = [r.time for r in log.forward()]
+        assert times == sorted(times)
+
+    def test_reverse_time_order(self):
+        log = InteractionLog([("a", "b", 2), ("b", "c", 1), ("c", "d", 9)])
+        assert [r.time for r in log.reverse_time_order()] == [9, 2, 1]
+
+    def test_getitem_and_len(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        assert len(log) == 2
+        assert log[1].time == 2
+
+    def test_equality_and_hash(self):
+        a = InteractionLog([("a", "b", 1)])
+        b = InteractionLog([("a", "b", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != InteractionLog([("a", "b", 2)])
+
+    def test_equality_with_other_types(self):
+        assert InteractionLog([]) != "not a log"
+
+
+class TestProperties:
+    def test_nodes_cover_sources_and_targets(self):
+        log = InteractionLog([("a", "b", 1), ("c", "d", 2)])
+        assert log.nodes == frozenset("abcd")
+
+    def test_time_span_inclusive(self):
+        log = InteractionLog([("a", "b", 10), ("b", "c", 19)])
+        assert log.time_span == 10
+
+    def test_window_from_percent(self):
+        log = InteractionLog([("a", "b", 0), ("b", "c", 99)])
+        assert log.window_from_percent(10) == 10
+        assert log.window_from_percent(100) == 100
+        assert log.window_from_percent(0) == 0
+
+    def test_window_from_percent_floor_of_one(self):
+        log = InteractionLog([("a", "b", 0), ("b", "c", 5)])
+        assert log.window_from_percent(1) == 1
+
+    def test_window_from_percent_rejects_bad_input(self):
+        log = InteractionLog([("a", "b", 0)])
+        with pytest.raises(ValueError):
+            log.window_from_percent(101)
+        with pytest.raises(TypeError):
+            log.window_from_percent("10")
+
+    def test_has_distinct_times(self):
+        assert InteractionLog([("a", "b", 1), ("b", "c", 2)]).has_distinct_times()
+        assert not InteractionLog([("a", "b", 1), ("b", "c", 1)]).has_distinct_times()
+
+
+class TestDerivedStructures:
+    def test_static_edges_dedup(self):
+        log = InteractionLog([("a", "b", 1), ("a", "b", 5), ("b", "a", 2)])
+        assert log.static_edges() == {("a", "b"), ("b", "a")}
+
+    def test_out_degrees_distinct_neighbours(self):
+        log = InteractionLog(
+            [("a", "b", 1), ("a", "b", 2), ("a", "c", 3), ("b", "c", 4)]
+        )
+        degrees = log.out_degrees()
+        assert degrees["a"] == 2
+        assert degrees["b"] == 1
+        assert degrees["c"] == 0
+
+    def test_restricted_to_window(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 5), ("c", "d", 9)])
+        cut = log.restricted_to_window(2, 8)
+        assert [r.time for r in cut] == [5]
+
+    def test_restricted_rejects_inverted_bounds(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(ValueError):
+            log.restricted_to_window(5, 2)
+
+    def test_relabelled_preserves_structure(self):
+        log = InteractionLog([("x", "y", 1), ("y", "z", 2)])
+        dense, mapping = log.relabelled()
+        assert dense.num_interactions == 2
+        assert set(mapping.values()) == {0, 1, 2}
+        assert dense[0] == Interaction(mapping["x"], mapping["y"], 1)
+
+
+class TestIO:
+    def test_write_read_round_trip(self, tmp_path):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 22)])
+        path = str(tmp_path / "log.txt")
+        log.write(path)
+        restored = InteractionLog.read(path)
+        assert restored == log
+
+    def test_read_int_nodes(self):
+        restored = InteractionLog.read(io.StringIO("1 2 10\n2 3 20\n"), int_nodes=True)
+        assert restored[0] == Interaction(1, 2, 10)
+
+    def test_read_skips_comments_and_blanks(self):
+        text = "# header\n\na b 1\n"
+        restored = InteractionLog.read(io.StringIO(text))
+        assert restored.num_interactions == 1
+
+    def test_read_rejects_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            InteractionLog.read(io.StringIO("a b\n"))
+
+    def test_write_to_stream(self):
+        log = InteractionLog([("a", "b", 1)])
+        buffer = io.StringIO()
+        log.write(buffer)
+        assert buffer.getvalue() == "a b 1\n"

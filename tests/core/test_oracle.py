@@ -1,0 +1,150 @@
+"""Unit tests for the exact and sketch-backed influence oracles."""
+
+import pytest
+
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.oracle import (
+    ApproxInfluenceOracle,
+    ExactInfluenceOracle,
+    InfluenceOracle,
+)
+
+
+@pytest.fixture
+def exact_oracle():
+    sets = {
+        "a": {"b", "c", "d"},
+        "b": {"c"},
+        "c": set(),
+        "d": {"e", "f"},
+    }
+    return ExactInfluenceOracle(sets)
+
+
+class TestExactOracle:
+    def test_influence(self, exact_oracle):
+        assert exact_oracle.influence("a") == 3.0
+        assert exact_oracle.influence("c") == 0.0
+
+    def test_influence_of_unknown_node(self, exact_oracle):
+        assert exact_oracle.influence("zzz") == 0.0
+
+    def test_spread_unions(self, exact_oracle):
+        assert exact_oracle.spread(["a", "b"]) == 3.0  # {b,c,d}
+        assert exact_oracle.spread(["a", "d"]) == 5.0  # {b,c,d,e,f}
+
+    def test_spread_empty(self, exact_oracle):
+        assert exact_oracle.spread([]) == 0.0
+
+    def test_accumulator_flow(self, exact_oracle):
+        state = exact_oracle.new_accumulator()
+        exact_oracle.accumulate(state, "a")
+        assert exact_oracle.value(state) == 3.0
+        exact_oracle.accumulate(state, "d")
+        assert exact_oracle.value(state) == 5.0
+
+    def test_gain_is_marginal(self, exact_oracle):
+        state = exact_oracle.new_accumulator()
+        exact_oracle.accumulate(state, "a")
+        assert exact_oracle.gain(state, "d") == 2.0  # e, f are new
+        assert exact_oracle.gain(state, "b") == 0.0  # c already covered
+
+    def test_gain_does_not_mutate(self, exact_oracle):
+        state = exact_oracle.new_accumulator()
+        exact_oracle.gain(state, "a")
+        assert exact_oracle.value(state) == 0.0
+
+    def test_copy_accumulator_independent(self, exact_oracle):
+        state = exact_oracle.new_accumulator()
+        clone = exact_oracle.copy_accumulator(state)
+        exact_oracle.accumulate(clone, "a")
+        assert exact_oracle.value(state) == 0.0
+
+    def test_from_index(self, paper_log):
+        index = ExactIRS.from_log(paper_log, window=3)
+        oracle = ExactInfluenceOracle.from_index(index)
+        assert oracle.spread(["a", "e"]) == index.spread(["a", "e"])
+        assert set(oracle.nodes()) == set(index.nodes)
+
+    def test_reachability_set_access(self, exact_oracle):
+        assert exact_oracle.reachability_set("a") == frozenset({"b", "c", "d"})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TypeError):
+            ExactInfluenceOracle([("a", {"b"})])
+
+    def test_submodularity_spot_check(self, exact_oracle):
+        """gain(S, x) >= gain(T, x) whenever S ⊆ T (paper Lemma 8)."""
+        small = exact_oracle.new_accumulator()
+        exact_oracle.accumulate(small, "b")
+        large = exact_oracle.copy_accumulator(small)
+        exact_oracle.accumulate(large, "a")
+        for candidate in ("a", "b", "c", "d"):
+            assert exact_oracle.gain(small, candidate) >= exact_oracle.gain(
+                large, candidate
+            )
+
+    def test_monotonicity_spot_check(self, exact_oracle):
+        """Inf(S) <= Inf(T) whenever S ⊆ T (paper Lemma 8)."""
+        assert exact_oracle.spread(["a"]) <= exact_oracle.spread(["a", "d"])
+        assert exact_oracle.spread([]) <= exact_oracle.spread(["c"])
+
+
+class TestApproxOracle:
+    def test_from_index_matches_index_spread(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        for seeds in (["a"], ["a", "e"], ["c"], []):
+            assert oracle.spread(seeds) == pytest.approx(index.spread(seeds))
+
+    def test_influence_matches_estimate(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        for node in paper_log.nodes:
+            assert oracle.influence(node) == pytest.approx(index.irs_estimate(node))
+
+    def test_unknown_node(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        assert oracle.influence("zzz") == 0.0
+        state = oracle.new_accumulator()
+        oracle.accumulate(state, "zzz")
+        assert oracle.value(state) == pytest.approx(0.0)
+
+    def test_accumulator_equals_spread(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        state = oracle.new_accumulator()
+        oracle.accumulate(state, "a")
+        oracle.accumulate(state, "e")
+        assert oracle.value(state) == pytest.approx(oracle.spread(["a", "e"]))
+
+    def test_gain_does_not_mutate(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        state = oracle.new_accumulator()
+        before = list(state)
+        oracle.gain(state, "a")
+        assert state == before
+
+    def test_copy_accumulator_independent(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        state = oracle.new_accumulator()
+        clone = oracle.copy_accumulator(state)
+        oracle.accumulate(clone, "a")
+        assert oracle.value(state) == pytest.approx(0.0)
+
+    def test_rejects_bad_register_length(self):
+        with pytest.raises(ValueError, match="length"):
+            ApproxInfluenceOracle({"a": [0, 0]}, num_cells=4)
+
+    def test_rejects_non_power_of_two_cells(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ApproxInfluenceOracle({}, num_cells=3)
+
+    def test_is_influence_oracle(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        assert isinstance(oracle, InfluenceOracle)

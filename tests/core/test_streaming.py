@@ -1,0 +1,167 @@
+"""Tests for streaming influenced-by maintenance (extension).
+
+Correctness standard: the influencers of ``v`` must equal
+``{u : v ∈ σω(u)}`` computed by the (offline) exact IRS index — on worked
+examples and on arbitrary generated logs (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+from repro.core.streaming import (
+    StreamingExactIndex,
+    StreamingSketchIndex,
+    influencers_of,
+)
+
+
+def offline_influencers(log: InteractionLog, node, window: int) -> set:
+    """Reference: invert the forward IRS index."""
+    index = ExactIRS.from_log(log, window)
+    return {u for u in log.nodes if node in index.reachability_set(u)}
+
+
+class TestTimeReversedLog:
+    def test_dual_shape(self):
+        log = InteractionLog([("a", "b", 3), ("b", "c", 7)])
+        dual = log.time_reversed()
+        assert set(dual) == {("b", "a", -3), ("c", "b", -7)}
+
+    def test_double_dual_is_identity(self):
+        log = InteractionLog([("a", "b", 3), ("b", "c", 7)])
+        assert log.time_reversed().time_reversed() == log
+
+
+class TestStreamingExact:
+    def test_chain(self):
+        index = StreamingExactIndex(window=10)
+        index.process("a", "b", 1)
+        index.process("b", "c", 3)
+        assert index.influencers("c") == {"a", "b"}
+        assert index.influencers("b") == {"a"}
+        assert index.influencers("a") == set()
+
+    def test_window_cuts_long_channels(self):
+        index = StreamingExactIndex(window=3)
+        index.process("a", "b", 1)
+        index.process("b", "c", 10)
+        # a→b@1, b→c@10 has duration 10; only b influences c.
+        assert index.influencers("c") == {"b"}
+
+    def test_updates_arrive_live(self):
+        index = StreamingExactIndex(window=100)
+        index.process("a", "b", 1)
+        assert index.influencer_count("c") == 0
+        index.process("b", "c", 2)
+        assert index.influencers("c") == {"a", "b"}
+
+    def test_rejects_non_increasing_times(self):
+        index = StreamingExactIndex(window=5)
+        index.process("a", "b", 5)
+        with pytest.raises(ValueError):
+            index.process("b", "c", 5)
+        with pytest.raises(ValueError):
+            index.process("b", "c", 4)
+
+    def test_latest_start_is_freshest_channel(self):
+        index = StreamingExactIndex(window=100)
+        index.process("a", "b", 1)
+        index.process("a", "b", 7)
+        assert index.latest_start("b", "a") == 7
+
+    def test_latest_start_none_when_unreachable(self):
+        index = StreamingExactIndex(window=5)
+        index.process("a", "b", 1)
+        assert index.latest_start("a", "b") is None
+
+    def test_audience_overlap(self):
+        index = StreamingExactIndex(window=100)
+        index.process("a", "x", 1)
+        index.process("b", "y", 2)
+        index.process("a", "y", 3)
+        assert index.audience_overlap(["x", "y"]) == 2  # {a, b}
+
+    def test_matches_offline_reference_on_paper_log(self, paper_log):
+        for window in (1, 3, 8):
+            streaming = StreamingExactIndex.from_log(paper_log, window)
+            for node in paper_log.nodes:
+                assert streaming.influencers(node) == offline_influencers(
+                    paper_log, node, window
+                ), (node, window)
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=25),
+            ),
+            max_size=20,
+        ),
+        window=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_duality(self, edges, window):
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        streaming = StreamingExactIndex.from_log(log, window)
+        forward = ExactIRS.from_log(log, window)
+        for node in log.nodes:
+            expected = {u for u in log.nodes if node in forward.reachability_set(u)}
+            assert streaming.influencers(node) == expected
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            StreamingExactIndex(window=-1)
+        with pytest.raises(TypeError):
+            StreamingExactIndex(window=1.5)
+
+
+class TestStreamingSketch:
+    def test_estimates_track_exact(self, small_email_log):
+        window = small_email_log.window_from_percent(10)
+        exact = StreamingExactIndex.from_log(small_email_log, window)
+        sketch = StreamingSketchIndex.from_log(small_email_log, window, precision=9)
+        for node in small_email_log.nodes:
+            true = exact.influencer_count(node)
+            estimate = sketch.influencer_estimate(node)
+            # Self-cycles may add one, HLL adds noise.
+            assert estimate == pytest.approx(true, rel=0.25, abs=2.0)
+
+    def test_live_updates(self):
+        sketch = StreamingSketchIndex(window=50, precision=8)
+        sketch.process("a", "b", 1)
+        sketch.process("b", "c", 2)
+        assert sketch.influencer_estimate("c") == pytest.approx(2.0, abs=0.6)
+
+    def test_rejects_non_increasing_times(self):
+        sketch = StreamingSketchIndex(window=5, precision=6)
+        sketch.process("a", "b", 5)
+        with pytest.raises(ValueError):
+            sketch.process("b", "c", 5)
+
+    def test_audience_overlap_estimate(self):
+        sketch = StreamingSketchIndex(window=50, precision=8)
+        sketch.process("a", "x", 1)
+        sketch.process("b", "y", 2)
+        sketch.process("a", "y", 3)
+        assert sketch.audience_overlap(["x", "y"]) == pytest.approx(2.0, abs=0.7)
+
+    def test_entry_count_positive(self, small_email_log):
+        sketch = StreamingSketchIndex.from_log(
+            small_email_log, small_email_log.window_from_percent(10), precision=7
+        )
+        assert sketch.entry_count() > 0
+
+
+class TestInfluencersOf:
+    def test_one_shot_helper(self, paper_log):
+        assert influencers_of(paper_log, "c", window=3) == offline_influencers(
+            paper_log, "c", 3
+        )
+
+    def test_rejects_non_log(self):
+        with pytest.raises(TypeError):
+            influencers_of([("a", "b", 1)], "b", 3)

@@ -1,0 +1,106 @@
+"""Unit tests for the exact IRS summary structure."""
+
+import pytest
+
+from repro.core.summary import IRSSummary
+
+
+class TestAdd:
+    def test_add_new_entry(self):
+        phi = IRSSummary()
+        phi.add("b", 5)
+        assert phi.earliest_end("b") == 5
+
+    def test_add_keeps_minimum(self):
+        phi = IRSSummary()
+        phi.add("b", 8)
+        phi.add("b", 5)
+        phi.add("b", 9)
+        assert phi.earliest_end("b") == 5
+
+    def test_unknown_node_is_none(self):
+        assert IRSSummary().earliest_end("x") is None
+
+
+class TestMergeWithin:
+    def test_merge_respects_window(self):
+        """Paper Example 2, edge (a, b, 5): (e, 8) in ϕ(b) is skipped for
+        ω = 3 because the duration 8 − 5 + 1 = 4 exceeds the budget."""
+        phi_a = IRSSummary({"b": 5})
+        phi_b = IRSSummary({"e": 8, "c": 7})
+        phi_a.merge_within(phi_b, start_time=5, window=3)
+        assert phi_a.to_dict() == {"b": 5, "c": 7}
+
+    def test_merge_boundary_duration_equal_window_kept(self):
+        phi_a = IRSSummary()
+        phi_b = IRSSummary({"c": 7})
+        # Duration 7 - 5 + 1 = 3 == window: allowed.
+        phi_a.merge_within(phi_b, start_time=5, window=3)
+        assert "c" in phi_a
+
+    def test_merge_updates_to_earlier_end(self):
+        phi_a = IRSSummary({"c": 8})
+        phi_b = IRSSummary({"c": 7})
+        phi_a.merge_within(phi_b, start_time=6, window=3)
+        assert phi_a.earliest_end("c") == 7
+
+    def test_merge_does_not_worsen(self):
+        phi_a = IRSSummary({"c": 4})
+        phi_b = IRSSummary({"c": 7})
+        phi_a.merge_within(phi_b, start_time=6, window=5)
+        assert phi_a.earliest_end("c") == 4
+
+    def test_merge_skip_suppresses_self_channels(self):
+        phi_a = IRSSummary()
+        phi_b = IRSSummary({"a": 9, "c": 9})
+        phi_a.merge_within(phi_b, start_time=8, window=5, skip="a")
+        assert phi_a.to_dict() == {"c": 9}
+
+    def test_merge_empty_other_is_noop(self):
+        phi_a = IRSSummary({"b": 1})
+        phi_a.merge_within(IRSSummary(), start_time=0, window=10)
+        assert phi_a.to_dict() == {"b": 1}
+
+
+class TestContainerProtocol:
+    def test_len_iter_contains(self):
+        phi = IRSSummary({"a": 1, "b": 2})
+        assert len(phi) == 2
+        assert set(iter(phi)) == {"a", "b"}
+        assert "a" in phi
+        assert "z" not in phi
+
+    def test_nodes_and_items(self):
+        phi = IRSSummary({"a": 1})
+        assert set(phi.nodes()) == {"a"}
+        assert dict(phi.items()) == {"a": 1}
+
+    def test_equality(self):
+        assert IRSSummary({"a": 1}) == IRSSummary({"a": 1})
+        assert IRSSummary({"a": 1}) != IRSSummary({"a": 2})
+        assert IRSSummary() != "not a summary"
+
+    def test_copy_is_independent(self):
+        phi = IRSSummary({"a": 1})
+        clone = phi.copy()
+        clone.add("b", 2)
+        assert "b" not in phi
+
+    def test_to_dict_is_copy(self):
+        phi = IRSSummary({"a": 1})
+        exported = phi.to_dict()
+        exported["b"] = 9
+        assert "b" not in phi
+
+
+class TestUnion:
+    def test_union_takes_pointwise_minimum(self):
+        merged = IRSSummary.union(IRSSummary({"a": 5, "b": 2}), IRSSummary({"a": 3}))
+        assert merged.to_dict() == {"a": 3, "b": 2}
+
+    def test_union_of_nothing_is_empty(self):
+        assert len(IRSSummary.union()) == 0
+
+    def test_union_rejects_non_summary(self):
+        with pytest.raises(TypeError):
+            IRSSummary.union({"a": 1})

@@ -1,0 +1,66 @@
+"""Tests for targeted-influence queries on the exact oracle."""
+
+import pytest
+
+from repro.core.exact import ExactIRS
+from repro.core.oracle import ExactInfluenceOracle
+
+
+@pytest.fixture
+def oracle():
+    return ExactInfluenceOracle(
+        {
+            "a": {"x1", "x2", "y1"},
+            "b": {"y1", "y2"},
+            "c": {"x1"},
+        }
+    )
+
+
+class TestTargetedSpread:
+    def test_counts_only_targets(self, oracle):
+        assert oracle.targeted_spread(["a"], targets={"x1", "x2"}) == 2.0
+        assert oracle.targeted_spread(["a"], targets={"y1", "y2"}) == 1.0
+
+    def test_union_within_targets(self, oracle):
+        assert oracle.targeted_spread(["a", "b"], targets={"y1", "y2"}) == 2.0
+
+    def test_empty_targets(self, oracle):
+        assert oracle.targeted_spread(["a", "b"], targets=set()) == 0.0
+
+    def test_empty_seeds(self, oracle):
+        assert oracle.targeted_spread([], targets={"x1"}) == 0.0
+
+    def test_targets_without_any_reach(self, oracle):
+        assert oracle.targeted_spread(["c"], targets={"zzz"}) == 0.0
+
+    def test_consistent_with_plain_spread_when_targets_cover_all(self, oracle):
+        everything = {"x1", "x2", "y1", "y2"}
+        assert oracle.targeted_spread(["a", "b", "c"], everything) == oracle.spread(
+            ["a", "b", "c"]
+        )
+
+
+class TestMostInfluentialTowards:
+    def test_picks_cover_of_target_audience(self, oracle):
+        # For targets {y1, y2}: b covers both on its own.
+        seeds = oracle.most_influential_towards({"y1", "y2"}, k=1)
+        assert seeds == ["b"]
+
+    def test_complementary_seeds(self, oracle):
+        seeds = oracle.most_influential_towards({"x1", "x2", "y2"}, k=2)
+        # a covers x1+x2, b covers y2; c would add nothing after a.
+        assert set(seeds) == {"a", "b"}
+
+    def test_rejects_bad_k(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.most_influential_towards({"x1"}, k=0)
+        with pytest.raises(TypeError):
+            oracle.most_influential_towards({"x1"}, k="two")
+
+    def test_on_irs_index(self, paper_log):
+        oracle = ExactInfluenceOracle.from_index(ExactIRS.from_log(paper_log, 3))
+        seeds = oracle.most_influential_towards({"c"}, k=1)
+        # Several nodes reach c within omega=3; any one of them suffices,
+        # and the chosen one must actually cover c.
+        assert oracle.targeted_spread(seeds, {"c"}) == 1.0

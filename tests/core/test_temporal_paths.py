@@ -1,0 +1,180 @@
+"""Unit + property tests for the temporal-path toolbox (extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channels import fastest_channel_duration, reachability_summary
+from repro.core.interactions import InteractionLog
+from repro.core.temporal_paths import (
+    earliest_arrival_times,
+    fastest_path_durations,
+    latest_departure_times,
+    shortest_path_hops,
+)
+
+
+@pytest.fixture
+def diamond_log():
+    """Two routes a→d: fast two-hop (1,2) and slow direct (9)."""
+    return InteractionLog(
+        [("a", "b", 1), ("b", "d", 2), ("a", "c", 4), ("c", "d", 6), ("a", "d", 9)]
+    )
+
+
+class TestEarliestArrival:
+    def test_basic_chain(self, diamond_log):
+        arrival = earliest_arrival_times(diamond_log, "a")
+        assert arrival["b"] == 1
+        assert arrival["d"] == 2
+
+    def test_start_constraint_skips_early_edges(self, diamond_log):
+        arrival = earliest_arrival_times(diamond_log, "a", start=3)
+        # Route via b is gone; via c arrives at 6.
+        assert arrival["d"] == 6
+        assert "b" not in arrival
+
+    def test_source_departure_at_own_interaction_time(self):
+        log = InteractionLog([("a", "b", 5)])
+        arrival = earliest_arrival_times(log, "a", start=5)
+        assert arrival["b"] == 5
+
+    def test_relay_needs_strictly_later_interaction(self):
+        log = InteractionLog([("a", "b", 5), ("b", "c", 5)])
+        arrival = earliest_arrival_times(log, "a")
+        assert "c" not in arrival
+
+    def test_unreachable_absent(self, diamond_log):
+        arrival = earliest_arrival_times(diamond_log, "d")
+        assert set(arrival) == {"d"}
+
+    def test_rejects_bad_start(self, diamond_log):
+        with pytest.raises(TypeError):
+            earliest_arrival_times(diamond_log, "a", start=1.5)
+
+
+class TestLatestDeparture:
+    def test_basic_chain(self, diamond_log):
+        departure = latest_departure_times(diamond_log, "d")
+        # a can leave as late as t=9 (direct edge).
+        assert departure["a"] == 9
+        assert departure["c"] == 6
+        assert departure["b"] == 2
+
+    def test_deadline_constraint(self, diamond_log):
+        departure = latest_departure_times(diamond_log, "d", deadline=5)
+        # Only the b-route delivers by 5: a must leave at 1.
+        assert departure["a"] == 1
+        assert "c" not in departure
+
+    def test_duality_with_earliest_arrival(self, diamond_log):
+        """u can reach v iff v's latest-departure map contains u."""
+        for source in diamond_log.nodes:
+            arrival = earliest_arrival_times(diamond_log, source)
+            for target in diamond_log.nodes:
+                if target == source:
+                    continue
+                departure = latest_departure_times(diamond_log, target)
+                assert (target in arrival) == (source in departure)
+
+    def test_rejects_bad_deadline(self, diamond_log):
+        with pytest.raises(TypeError):
+            latest_departure_times(diamond_log, "d", deadline="noon")
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=25),
+            ),
+            max_size=18,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_duality_on_random_logs(self, edges):
+        """For every pair (u, v): u appears in v's latest-departure map iff
+        v appears in u's earliest-arrival map."""
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        nodes = sorted(log.nodes)
+        arrivals = {u: earliest_arrival_times(log, u) for u in nodes}
+        for v in nodes:
+            departures = latest_departure_times(log, v)
+            for u in nodes:
+                if u == v:
+                    continue
+                assert (u in departures) == (v in arrivals[u]), (u, v)
+
+
+class TestFastestPath:
+    def test_picks_quickest_route(self, diamond_log):
+        durations = fastest_path_durations(diamond_log, "a")
+        # Direct edge at t=9 has duration 1 — faster than both relays.
+        assert durations["d"] == 1
+        assert durations["b"] == 1
+        assert durations["c"] == 1
+
+    def test_multi_hop_duration(self):
+        log = InteractionLog([("a", "b", 2), ("b", "c", 7)])
+        assert fastest_path_durations(log, "a")["c"] == 6
+
+    def test_matches_single_target_reference(self, tiny_uniform_log):
+        durations = fastest_path_durations(tiny_uniform_log, 0)
+        for target in sorted(tiny_uniform_log.nodes, key=repr)[:8]:
+            if target == 0:
+                continue
+            expected = fastest_channel_duration(tiny_uniform_log, 0, target)
+            assert durations.get(target) == expected
+
+    def test_consistent_with_irs_membership(self, tiny_uniform_log):
+        """v ∈ σω(u) iff fastest duration(u, v) ≤ ω."""
+        source = 0
+        durations = fastest_path_durations(tiny_uniform_log, source)
+        for window in (1, 50, 200):
+            sigma = set(reachability_summary(tiny_uniform_log, source, window))
+            by_duration = {v for v, d in durations.items() if d <= window}
+            assert sigma == by_duration
+
+
+class TestShortestPathHops:
+    def test_direct_edge_is_one_hop(self, diamond_log):
+        hops = shortest_path_hops(diamond_log, "a")
+        assert hops["b"] == 1
+        assert hops["c"] == 1
+        assert hops["d"] == 1  # the late direct edge
+
+    def test_two_hop_when_no_direct(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        assert shortest_path_hops(log, "a") == {"b": 1, "c": 2}
+
+    def test_time_respecting_only(self):
+        # Direct edge exists but b->c happens before a->b: 'c' unreachable.
+        log = InteractionLog([("b", "c", 1), ("a", "b", 2)])
+        assert shortest_path_hops(log, "a") == {"b": 1}
+
+    def test_late_shortcut_counts(self):
+        """A later direct edge gives 1 hop even though a 2-hop path exists
+        earlier — hop minimisation ignores time, except for feasibility."""
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("a", "c", 9)])
+        assert shortest_path_hops(log, "a")["c"] == 1
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=18,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hops_reachability_matches_sigma(self, edges):
+        """shortest_path_hops reaches exactly σ∞(source)."""
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        if 0 not in log.nodes:
+            return
+        hops = shortest_path_hops(log, 0)
+        sigma = set(reachability_summary(log, 0, log.time_span or 1))
+        assert set(hops) == sigma

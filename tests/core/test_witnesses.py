@@ -1,0 +1,95 @@
+"""Tests for channel witness reconstruction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channels import channel_duration, reachability_summary
+from repro.core.interactions import InteractionLog
+from repro.core.witnesses import explain_influence, find_channel
+
+
+def is_valid_channel(channel, source, target, window):
+    """Definition 1 compliance for a witness."""
+    if channel[0].source != source or channel[-1].target != target:
+        return False
+    times = [record.time for record in channel]
+    if times != sorted(times) or len(set(times)) != len(times):
+        return False
+    for previous, record in zip(channel, channel[1:]):
+        if record.source != previous.target:
+            return False
+    return channel_duration(channel) <= window
+
+
+class TestFindChannel:
+    def test_paper_example_witness(self, paper_log):
+        channel = find_channel(paper_log, "a", "e", window=3)
+        assert channel is not None
+        assert is_valid_channel(channel, "a", "e", 3)
+        # lambda(a, e) = 3 in Example 2: the witness ends at 3.
+        assert channel[-1].time == 3
+
+    def test_direct_edge_witness(self):
+        log = InteractionLog([("a", "b", 7)])
+        channel = find_channel(log, "a", "b", window=1)
+        assert [tuple(record) for record in channel] == [("a", "b", 7)]
+
+    def test_unreachable_returns_none(self, paper_log):
+        assert find_channel(paper_log, "a", "f", window=3) is None
+
+    def test_window_zero_returns_none(self, paper_log):
+        assert find_channel(paper_log, "a", "b", window=0) is None
+
+    def test_self_target_returns_none(self, paper_log):
+        assert find_channel(paper_log, "a", "a", window=5) is None
+
+    def test_end_time_matches_lambda(self, paper_log):
+        """Every witness is optimal: its end time equals λω."""
+        for window in (1, 3, 8):
+            for source in paper_log.nodes:
+                summary = reachability_summary(paper_log, source, window)
+                for target, lam in summary.items():
+                    channel = find_channel(paper_log, source, target, window)
+                    assert channel is not None, (source, target, window)
+                    assert channel[-1].time == lam, (source, target, window)
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=25),
+            ),
+            max_size=18,
+        ),
+        window=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_witness_validity_and_optimality(self, edges, window):
+        records = [(u, v, t) for u, v, t in edges if u != v]
+        log = InteractionLog(records)
+        for source in log.nodes:
+            summary = reachability_summary(log, source, window)
+            for target, lam in summary.items():
+                channel = find_channel(log, source, target, window)
+                assert channel is not None
+                assert is_valid_channel(channel, source, target, window)
+                assert channel[-1].time == lam
+
+    def test_rejects_bad_window(self, paper_log):
+        with pytest.raises(ValueError):
+            find_channel(paper_log, "a", "b", window=-1)
+        with pytest.raises(TypeError):
+            find_channel(paper_log, "a", "b", window=1.5)
+
+
+class TestExplainInfluence:
+    def test_positive_explanation(self, paper_log):
+        text = explain_influence(paper_log, "a", "e", window=3)
+        assert "could have influenced" in text
+        assert "t=1" in text and "t=3" in text
+        assert "(duration 3, end time 3)" in text
+
+    def test_negative_explanation(self, paper_log):
+        text = explain_influence(paper_log, "a", "f", window=3)
+        assert "no information channel" in text

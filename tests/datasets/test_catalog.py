@@ -1,0 +1,67 @@
+"""Unit tests for the Table 2 dataset catalog."""
+
+import pytest
+
+from repro.datasets.catalog import CATALOG, DatasetSpec, dataset_names, load_dataset
+
+
+class TestCatalogContents:
+    def test_six_datasets_like_table2(self):
+        assert len(CATALOG) == 6
+
+    def test_names_match_keys(self):
+        for name, spec in CATALOG.items():
+            assert spec.name == name
+
+    def test_paper_names_covered(self):
+        papers = {spec.paper_name for spec in CATALOG.values()}
+        assert papers == {"Enron", "Lkml", "Facebook", "Higgs", "Slashdot", "US-2016"}
+
+    def test_size_ratios_mirror_table2(self):
+        """Enron has more interactions than Slashdot; Higgs has the most
+        nodes of the /100-scaled sets — as in the paper's Table 2."""
+        assert (
+            CATALOG["enron-sim"].num_interactions
+            > CATALOG["slashdot-sim"].num_interactions
+        )
+        assert CATALOG["higgs-sim"].num_nodes > CATALOG["enron-sim"].num_nodes
+
+    def test_time_span_uses_ticks_per_day(self):
+        spec = CATALOG["enron-sim"]
+        assert spec.time_span == spec.days * spec.ticks_per_day
+
+    def test_dataset_names_order(self):
+        assert dataset_names()[0] == "enron-sim"
+        assert len(dataset_names()) == 6
+
+
+class TestLoadDataset:
+    def test_loads_scaled(self):
+        log = load_dataset("slashdot-sim", rng=1, scale=0.2)
+        expected = int(CATALOG["slashdot-sim"].num_interactions * 0.2)
+        assert log.num_interactions == expected
+
+    def test_deterministic(self):
+        assert load_dataset("lkml-sim", rng=3, scale=0.05) == load_dataset(
+            "lkml-sim", rng=3, scale=0.05
+        )
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="enron-sim"):
+            load_dataset("nope")
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("enron-sim", scale=0)
+
+
+class TestDatasetSpec:
+    def test_generate_respects_kind(self):
+        spec = DatasetSpec("tiny", "Tiny", "email", 30, 200, 10)
+        log = spec.generate(rng=1)
+        assert log.num_interactions == 200
+
+    def test_unknown_kind_rejected(self):
+        spec = DatasetSpec("bad", "Bad", "telepathy", 30, 200, 10)
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            spec.generate(rng=1)

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic interaction-network generators."""
+
+import pytest
+
+from repro.datasets.generators import (
+    cascade_network,
+    email_network,
+    forum_network,
+    uniform_network,
+)
+
+GENERATORS = [email_network, cascade_network, forum_network, uniform_network]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestCommonContract:
+    def test_interaction_count_exact(self, generator):
+        log = generator(40, 300, 1_000, rng=1)
+        assert log.num_interactions == 300
+
+    def test_node_ids_within_range(self, generator):
+        log = generator(40, 300, 1_000, rng=1)
+        assert all(isinstance(node, int) and 0 <= node < 40 for node in log.nodes)
+
+    def test_distinct_integer_times(self, generator):
+        log = generator(40, 300, 1_000, rng=1)
+        assert log.has_distinct_times()
+        assert all(isinstance(record.time, int) for record in log)
+
+    def test_time_span_close_to_requested(self, generator):
+        log = generator(40, 300, 1_000, rng=1)
+        # _distinct_times may stretch slightly past the span to break ties.
+        assert log.time_span <= 1_000 + 300
+
+    def test_no_self_loops(self, generator):
+        log = generator(40, 300, 1_000, rng=1)
+        assert all(record.source != record.target for record in log)
+
+    def test_deterministic_given_seed(self, generator):
+        assert generator(30, 150, 500, rng=9) == generator(30, 150, 500, rng=9)
+
+    def test_different_seeds_differ(self, generator):
+        assert generator(30, 150, 500, rng=1) != generator(30, 150, 500, rng=2)
+
+    def test_rejects_bad_sizes(self, generator):
+        with pytest.raises(ValueError):
+            generator(1, 10, 100, rng=1)  # fewer than 2 nodes
+        with pytest.raises(ValueError):
+            generator(10, 0, 100, rng=1)
+        with pytest.raises(TypeError):
+            generator(10, 10, "long", rng=1)
+
+
+class TestEmailNetwork:
+    def test_activity_is_heavy_tailed(self):
+        """Zipf senders: the busiest sender dominates the median one."""
+        log = email_network(100, 3_000, 10_000, rng=3)
+        counts = {}
+        for source, _, _ in log:
+            counts[source] = counts.get(source, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 5 * ordered[len(ordered) // 2]
+
+    def test_replies_create_reciprocated_pairs(self):
+        log = email_network(50, 2_000, 10_000, reply_probability=0.5, rng=4)
+        edges = log.static_edges()
+        reciprocated = sum(1 for (u, v) in edges if (v, u) in edges)
+        assert reciprocated > 0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            email_network(10, 10, 100, internal_probability=1.5)
+        with pytest.raises(ValueError):
+            email_network(10, 10, 100, reply_probability=-0.1)
+
+
+class TestCascadeNetwork:
+    def test_bursty_time_distribution(self):
+        """Cascade logs concentrate many interactions in short bursts: the
+        median inter-arrival gap is far below the mean gap."""
+        log = cascade_network(300, 2_000, 50_000, rng=5)
+        times = [record.time for record in log]
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        median_gap = gaps[len(gaps) // 2]
+        mean_gap = sum(gaps) / len(gaps)
+        assert median_gap <= mean_gap
+
+    def test_retweet_edges_point_to_authors(self):
+        """In-degree concentrates on hubs (many re-shares of few authors)."""
+        log = cascade_network(300, 2_000, 50_000, rng=5)
+        in_counts = {}
+        for _, target, _ in log:
+            in_counts[target] = in_counts.get(target, 0) + 1
+        ordered = sorted(in_counts.values(), reverse=True)
+        assert ordered[0] >= 10
+
+
+class TestForumNetwork:
+    def test_threads_alternate_direction(self):
+        """Reply chains produce time-respecting paths between posters."""
+        from repro.core.channels import reachability_set
+
+        log = forum_network(30, 400, 2_000, rng=6)
+        window = log.time_span
+        reach_sizes = [len(reachability_set(log, node, window)) for node in log.nodes]
+        assert max(reach_sizes) >= 2
+
+
+class TestUniformNetwork:
+    def test_degrees_roughly_balanced(self):
+        log = uniform_network(50, 5_000, 20_000, rng=7)
+        counts = {}
+        for source, _, _ in log:
+            counts[source] = counts.get(source, 0) + 1
+        ordered = sorted(counts.values())
+        assert ordered[0] > 0.3 * ordered[-1]

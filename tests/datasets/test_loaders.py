@@ -1,0 +1,83 @@
+"""Unit tests for dataset IO helpers."""
+
+import io
+
+import pytest
+
+from repro.core.interactions import InteractionLog
+from repro.datasets.loaders import (
+    read_csv,
+    read_edge_list,
+    to_networkx,
+    write_csv,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def sample_log():
+    return InteractionLog([("a", "b", 1), ("b", "c", 5), ("a", "b", 9)])
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample_log, tmp_path):
+        path = str(tmp_path / "edges.txt")
+        write_edge_list(sample_log, path)
+        assert read_edge_list(path) == sample_log
+
+    def test_int_nodes(self, tmp_path):
+        log = InteractionLog([(1, 2, 10)])
+        path = str(tmp_path / "edges.txt")
+        write_edge_list(log, path)
+        assert read_edge_list(path, int_nodes=True) == log
+
+    def test_write_rejects_non_log(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_edge_list([("a", "b", 1)], str(tmp_path / "x.txt"))
+
+
+class TestCsv:
+    def test_round_trip_via_path(self, sample_log, tmp_path):
+        path = str(tmp_path / "log.csv")
+        write_csv(sample_log, path)
+        assert read_csv(path) == sample_log
+
+    def test_round_trip_via_stream(self, sample_log):
+        buffer = io.StringIO()
+        write_csv(sample_log, buffer)
+        buffer.seek(0)
+        assert read_csv(buffer) == sample_log
+
+    def test_header_written(self, sample_log):
+        buffer = io.StringIO()
+        write_csv(sample_log, buffer)
+        assert buffer.getvalue().splitlines()[0] == "source,target,time"
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            read_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_int_nodes(self):
+        text = "source,target,time\n1,2,10\n"
+        log = read_csv(io.StringIO(text), int_nodes=True)
+        assert log[0].source == 1
+
+
+class TestToNetworkx:
+    def test_multidigraph_keeps_repeats(self, sample_log):
+        graph = to_networkx(sample_log)
+        assert graph.number_of_edges() == 3
+        assert graph.number_of_nodes() == 3
+
+    def test_time_attribute_present(self, sample_log):
+        graph = to_networkx(sample_log)
+        times = sorted(data["time"] for _, _, data in graph.edges(data=True))
+        assert times == [1, 5, 9]
+
+    def test_static_digraph_dedups(self, sample_log):
+        graph = to_networkx(sample_log, static=True)
+        assert graph.number_of_edges() == 2
+
+    def test_rejects_non_log(self):
+        with pytest.raises(TypeError):
+            to_networkx("not a log")

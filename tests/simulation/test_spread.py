@@ -1,0 +1,67 @@
+"""Unit tests for Monte-Carlo spread estimation."""
+
+import pytest
+
+from repro.core.interactions import InteractionLog
+from repro.simulation.spread import estimate_spread, spread_curve
+from repro.simulation.tcic import run_tcic
+
+
+@pytest.fixture
+def chain_log():
+    return InteractionLog([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+
+
+class TestEstimateSpread:
+    def test_deterministic_at_p1_single_run(self, chain_log):
+        estimate = estimate_spread(chain_log, ["a"], 10, 1.0, runs=50)
+        assert estimate.runs == 1  # p = 1 needs no repetition
+        assert estimate.mean == 4.0
+        assert estimate.std == 0.0
+
+    def test_matches_direct_simulation_at_p1(self, chain_log):
+        estimate = estimate_spread(chain_log, ["a"], 10, 1.0)
+        direct = run_tcic(chain_log, ["a"], 10, 1.0)
+        assert estimate.mean == direct.spread
+
+    def test_runs_recorded(self, chain_log):
+        estimate = estimate_spread(chain_log, ["a"], 10, 0.5, runs=7, rng=1)
+        assert estimate.runs == 7
+        assert len(estimate.samples) == 7
+
+    def test_reproducible_with_seed(self, chain_log):
+        a = estimate_spread(chain_log, ["a"], 10, 0.5, runs=5, rng=3)
+        b = estimate_spread(chain_log, ["a"], 10, 0.5, runs=5, rng=3)
+        assert a.samples == b.samples
+
+    def test_mean_between_bounds(self, chain_log):
+        estimate = estimate_spread(chain_log, ["a"], 10, 0.5, runs=30, rng=2)
+        assert 1.0 <= estimate.mean <= 4.0
+
+    def test_stderr_zero_for_single_run(self, chain_log):
+        estimate = estimate_spread(chain_log, ["a"], 10, 1.0)
+        assert estimate.stderr == 0.0
+
+    def test_rejects_bad_runs(self, chain_log):
+        with pytest.raises(ValueError):
+            estimate_spread(chain_log, ["a"], 10, 0.5, runs=0)
+        with pytest.raises(TypeError):
+            estimate_spread(chain_log, ["a"], 10, 0.5, runs=2.5)
+
+
+class TestSpreadCurve:
+    def test_prefix_spreads(self, chain_log):
+        curve = spread_curve(chain_log, ["a", "c"], ks=[1, 2], window=10, probability=1.0)
+        assert curve == [4.0, 4.0]  # c is already covered by a's cascade
+
+    def test_zero_prefix(self, chain_log):
+        curve = spread_curve(chain_log, ["a"], ks=[0, 1], window=10, probability=1.0)
+        assert curve[0] == 0.0
+
+    def test_rejects_out_of_range_k(self, chain_log):
+        with pytest.raises(ValueError):
+            spread_curve(chain_log, ["a"], ks=[2], window=10, probability=1.0)
+
+    def test_rejects_non_int_k(self, chain_log):
+        with pytest.raises(TypeError):
+            spread_curve(chain_log, ["a"], ks=[1.0], window=10, probability=1.0)

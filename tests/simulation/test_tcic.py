@@ -1,0 +1,188 @@
+"""Unit tests for the Time-Constrained Information Cascade model (Alg. 1)."""
+
+import pytest
+
+from repro.core.interactions import InteractionLog
+from repro.simulation.tcic import run_tcic
+
+
+class TestDeterministicCascades:
+    """With p = 1 every interaction from an in-window active node infects."""
+
+    def test_chain_infection(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+        result = run_tcic(log, ["a"], window=10, probability=1.0)
+        assert result.active == {"a", "b", "c", "d"}
+
+    def test_window_cuts_chain(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 8)])
+        # Chain clock starts at 1; 8 - 1 = 7 > window 5 → c not infected.
+        result = run_tcic(log, ["a"], window=5, probability=1.0)
+        assert result.active == {"a", "b"}
+
+    def test_window_boundary_inclusive(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 6)])
+        # 6 - 1 = 5 <= window 5 → infects.
+        result = run_tcic(log, ["a"], window=5, probability=1.0)
+        assert "c" in result.active
+
+    def test_seed_clock_resets_each_interaction_by_default(self):
+        """Default = literal Algorithm 1: the seed gets a fresh ω-budget at
+        each of its own interactions, so a→c at t=20 fires too."""
+        log = InteractionLog([("x", "a", 1), ("a", "b", 5), ("a", "c", 20)])
+        result = run_tcic(log, ["a"], window=10, probability=1.0)
+        assert result.active == {"a", "b", "c"}
+
+    def test_prose_variant_activates_at_first_source_interaction(self):
+        log = InteractionLog([("x", "a", 1), ("a", "b", 5), ("a", "c", 20)])
+        result = run_tcic(
+            log, ["a"], window=10, probability=1.0, reset_seed_clock=False
+        )
+        # a activates at t=5 (its first interaction as source); a->c at 20
+        # is 15 > 10 past the clock → c stays clean.
+        assert result.active == {"a", "b"}
+
+    def test_seed_never_sourcing_stays_inactive(self):
+        log = InteractionLog([("x", "s", 1)])
+        result = run_tcic(log, ["s"], window=10, probability=1.0)
+        assert result.active == set()
+
+    def test_chain_clock_inherited_not_reset(self):
+        """The window constrains the whole temporal path from the seed's
+        activation, not per-hop (paper §2)."""
+        log = InteractionLog([("a", "b", 1), ("b", "c", 4), ("c", "d", 9)])
+        result = run_tcic(log, ["a"], window=5, probability=1.0)
+        # d would be infected only if c's clock were reset at infection
+        # time; inherited clock is 1, and 9 - 1 = 8 > 5.
+        assert result.active == {"a", "b", "c"}
+
+    def test_fresher_chain_extends_budget(self):
+        """A node reached by two seeds keeps the newer chain clock."""
+        log = InteractionLog(
+            [("a", "x", 1), ("b", "x", 6), ("x", "y", 10)]
+        )
+        result = run_tcic(log, ["a", "b"], window=5, probability=1.0)
+        # Via a the clock is 1 (10-1 > 5); via b it is 6 (10-6 <= 5).
+        assert "y" in result.active
+
+    def test_interactions_before_activation_ignored(self):
+        log = InteractionLog([("b", "c", 1), ("a", "b", 2), ("b", "d", 3)])
+        result = run_tcic(log, ["a"], window=10, probability=1.0)
+        assert "c" not in result.active
+        assert result.active == {"a", "b", "d"}
+
+    def test_multiple_seeds(self):
+        log = InteractionLog([("a", "b", 1), ("c", "d", 2)])
+        result = run_tcic(log, ["a", "c"], window=5, probability=1.0)
+        assert result.active == {"a", "b", "c", "d"}
+
+    def test_infections_counter(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        result = run_tcic(log, ["a"], window=5, probability=1.0)
+        assert result.infections == 2  # b then c (seed activation not counted)
+
+    def test_spread_property(self):
+        log = InteractionLog([("a", "b", 1)])
+        result = run_tcic(log, ["a"], window=5, probability=1.0)
+        assert result.spread == len(result.active) == 2
+
+
+class TestProbabilisticBehaviour:
+    def test_probability_zero_infects_nobody(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 2)])
+        result = run_tcic(log, ["a"], window=5, probability=0.0, rng=1)
+        assert result.active == {"a"}
+
+    def test_deterministic_given_seed(self):
+        log = InteractionLog([(i % 7, (i + 1) % 7, i) for i in range(40)])
+        first = run_tcic(log, [0], window=10, probability=0.5, rng=99)
+        second = run_tcic(log, [0], window=10, probability=0.5, rng=99)
+        assert first.active == second.active
+
+    def test_spread_monotone_in_probability_on_average(self):
+        log = InteractionLog([(i % 9, (i + 3) % 9, i) for i in range(120)])
+
+        def mean_spread(p):
+            total = 0
+            for seed in range(40):
+                total += run_tcic(log, [0], window=60, probability=p, rng=seed).spread
+            return total / 40
+
+        assert mean_spread(0.2) <= mean_spread(0.8) + 0.5
+
+    def test_active_subset_of_p1_run(self):
+        """Any probabilistic cascade is contained in the p = 1 cascade."""
+        log = InteractionLog([(i % 8, (i + 1) % 8, i) for i in range(60)])
+        full = run_tcic(log, [0], window=30, probability=1.0).active
+        for seed in range(10):
+            partial = run_tcic(log, [0], window=30, probability=0.6, rng=seed).active
+            assert partial.issubset(full)
+
+
+class TestResetSeedClockVariant:
+    def test_literal_vs_prose_divergence(self):
+        """The two Algorithm 1 readings differ exactly on late seed
+        interactions: the literal clock reset re-arms the window."""
+        log = InteractionLog([("a", "b", 1), ("a", "c", 20)])
+        prose = run_tcic(
+            log, ["a"], window=5, probability=1.0, reset_seed_clock=False
+        )
+        literal = run_tcic(
+            log, ["a"], window=5, probability=1.0, reset_seed_clock=True
+        )
+        assert prose.active == {"a", "b"}
+        assert literal.active == {"a", "b", "c"}
+
+    def test_literal_cascade_contains_prose_cascade(self):
+        log = InteractionLog([(i % 8, (i + 1) % 8, i) for i in range(60)])
+        prose = run_tcic(
+            log, [0], window=20, probability=1.0, reset_seed_clock=False
+        )
+        literal = run_tcic(log, [0], window=20, probability=1.0)
+        assert prose.active.issubset(literal.active)
+
+    def test_literal_p1_cascade_matches_irs_correspondence(self):
+        """At p = 1 the literal cascade from a single seed contains the
+        seed's σω and stays within σ_{ω+1} (the TCIC window check
+        `t − clock ≤ ω` admits duration ω + 1)."""
+        from repro.core.exact import ExactIRS
+        from repro.datasets.generators import uniform_network
+
+        log = uniform_network(25, 200, 600, rng=17)
+        window = 100
+        tight = ExactIRS.from_log(log, window)
+        loose = ExactIRS.from_log(log, window + 1)
+        for seed in sorted(log.nodes)[:8]:
+            cascade = run_tcic(log, [seed], window, 1.0).active
+            assert tight.reachability_set(seed).issubset(cascade | {seed})
+            assert cascade.issubset(loose.reachability_set(seed) | {seed})
+
+
+class TestValidation:
+    def test_rejects_bad_probability(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(ValueError):
+            run_tcic(log, ["a"], window=5, probability=1.5)
+
+    def test_rejects_negative_window(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(ValueError):
+            run_tcic(log, ["a"], window=-1, probability=0.5)
+
+    def test_rejects_float_window(self):
+        log = InteractionLog([("a", "b", 1)])
+        with pytest.raises(TypeError):
+            run_tcic(log, ["a"], window=1.5, probability=0.5)
+
+    def test_rejects_non_log(self):
+        with pytest.raises(TypeError):
+            run_tcic([("a", "b", 1)], ["a"], window=5, probability=0.5)
+
+    def test_unknown_seed_tolerated(self):
+        log = InteractionLog([("a", "b", 1)])
+        result = run_tcic(log, ["ghost"], window=5, probability=1.0)
+        assert result.active == set()
+
+    def test_empty_log(self):
+        result = run_tcic(InteractionLog([]), ["a"], window=5, probability=1.0)
+        assert result.spread == 0

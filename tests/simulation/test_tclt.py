@@ -1,0 +1,130 @@
+"""Tests for the Time-Constrained Linear Threshold model (extension)."""
+
+import pytest
+
+from repro.core.interactions import InteractionLog
+from repro.simulation.tcic import run_tcic
+from repro.simulation.tclt import estimate_tclt_spread, run_tclt
+
+
+@pytest.fixture
+def chain_log():
+    return InteractionLog([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+
+
+class TestBasicBehaviour:
+    def test_single_in_neighbour_always_suffices(self, chain_log):
+        """b's only in-neighbour is a, so one in-window interaction gives
+        weight 1 ≥ any threshold in [0, 1)."""
+        hits = 0
+        for seed in range(20):
+            result = run_tclt(chain_log, ["a"], window=10, rng=seed)
+            if "b" in result.active:
+                hits += 1
+        assert hits == 20
+
+    def test_window_cuts_chain(self):
+        log = InteractionLog([("a", "b", 1), ("b", "c", 10)])
+        result = run_tclt(log, ["a"], window=3, rng=1)
+        assert "c" not in result.active
+
+    def test_contained_in_tcic_p1(self, small_email_log):
+        """Every TCLT cascade is a subset of the p = 1 TCIC cascade."""
+        window = small_email_log.window_from_percent(5)
+        seeds = sorted(small_email_log.nodes, key=repr)[:5]
+        tcic_active = run_tcic(small_email_log, seeds, window, 1.0).active
+        for rng_seed in range(5):
+            tclt_active = run_tclt(
+                small_email_log, seeds, window, rng=rng_seed
+            ).active
+            assert tclt_active.issubset(tcic_active)
+
+    def test_monotone_in_seeds(self, small_email_log):
+        window = small_email_log.window_from_percent(5)
+        nodes = sorted(small_email_log.nodes, key=repr)
+        small = run_tclt(small_email_log, nodes[:3], window, rng=7).active
+        large = run_tclt(small_email_log, nodes[:6], window, rng=7).active
+        assert small.issubset(large)
+
+    def test_deterministic_given_rng(self, chain_log):
+        a = run_tclt(chain_log, ["a"], window=10, rng=5)
+        b = run_tclt(chain_log, ["a"], window=10, rng=5)
+        assert a.active == b.active
+        assert a.thresholds == b.thresholds
+
+    def test_thresholds_cover_all_nodes(self, chain_log):
+        result = run_tclt(chain_log, ["a"], window=10, rng=1)
+        assert set(result.thresholds) == set(chain_log.nodes)
+
+    def test_multiple_in_neighbours_need_accumulation(self):
+        """c has 4 in-neighbours; a single active one gives weight 0.25,
+        so with a threshold above 0.25, c stays inactive."""
+        log = InteractionLog(
+            [("a", "c", 5), ("x", "c", 1), ("y", "c", 2), ("z", "c", 3)]
+        )
+        activated = 0
+        for seed in range(200):
+            result = run_tclt(log, ["a"], window=10, rng=seed)
+            if "c" in result.active:
+                activated += 1
+        # P(theta_c <= 0.25) = 0.25 — allow generous sampling slack.
+        assert 20 < activated < 90
+
+    def test_seed_clock_default_rearms(self):
+        log = InteractionLog([("a", "b", 1), ("a", "c", 50)])
+        active = run_tclt(log, ["a"], window=5, rng=1).active
+        assert "c" in active
+        prose = run_tclt(log, ["a"], window=5, rng=1, reset_seed_clock=False).active
+        assert "c" not in prose
+
+
+class TestValidation:
+    def test_rejects_bad_window(self, chain_log):
+        with pytest.raises(ValueError):
+            run_tclt(chain_log, ["a"], window=-1)
+        with pytest.raises(TypeError):
+            run_tclt(chain_log, ["a"], window=1.5)
+
+    def test_rejects_non_log(self):
+        with pytest.raises(TypeError):
+            run_tclt([("a", "b", 1)], ["a"], window=5)
+
+    def test_empty_log(self):
+        result = run_tclt(InteractionLog([]), ["a"], window=5, rng=1)
+        assert result.spread == 0
+
+
+class TestEstimate:
+    def test_mean_over_runs(self, chain_log):
+        mean = estimate_tclt_spread(chain_log, ["a"], window=10, runs=30, rng=3)
+        assert 1.0 <= mean <= 4.0
+
+    def test_reproducible(self, chain_log):
+        a = estimate_tclt_spread(chain_log, ["a"], window=10, runs=10, rng=3)
+        b = estimate_tclt_spread(chain_log, ["a"], window=10, runs=10, rng=3)
+        assert a == b
+
+    def test_rejects_bad_runs(self, chain_log):
+        with pytest.raises(ValueError):
+            estimate_tclt_spread(chain_log, ["a"], window=10, runs=0)
+
+    def test_irs_seeds_competitive_under_lt_judge(self, small_email_log):
+        """Cross-model check: IRS-greedy seeds should not collapse under
+        the LT judge relative to a random seed set."""
+        from repro.core.exact import ExactIRS
+        from repro.core.maximization import greedy_top_k
+        from repro.core.oracle import ExactInfluenceOracle
+
+        window = small_email_log.window_from_percent(10)
+        oracle = ExactInfluenceOracle.from_index(
+            ExactIRS.from_log(small_email_log, window)
+        )
+        irs_seeds = greedy_top_k(oracle, 5)
+        random_seeds = sorted(small_email_log.nodes, key=repr)[:5]
+        irs_spread = estimate_tclt_spread(
+            small_email_log, irs_seeds, window, runs=10, rng=1
+        )
+        random_spread = estimate_tclt_spread(
+            small_email_log, random_seeds, window, runs=10, rng=1
+        )
+        assert irs_spread >= random_spread * 0.8

@@ -1,0 +1,107 @@
+"""Unit + property tests for repro.sketch.hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sketch.hashing import MASK64, hash64, rho, split_hash
+
+
+class TestHash64:
+    def test_deterministic_for_strings(self):
+        assert hash64("node-1") == hash64("node-1")
+
+    def test_deterministic_for_ints(self):
+        assert hash64(123456789) == hash64(123456789)
+
+    def test_different_items_differ(self):
+        assert hash64("a") != hash64("b")
+
+    def test_salt_changes_hash(self):
+        assert hash64("a", salt=0) != hash64("a", salt=1)
+
+    def test_int_and_string_forms_differ(self):
+        # "1" and 1 are distinct items.
+        assert hash64(1) != hash64("1")
+
+    def test_bool_not_conflated_with_int(self):
+        assert hash64(True) != hash64(1)
+
+    def test_bytes_supported(self):
+        assert hash64(b"abc") == hash64(b"abc")
+
+    def test_tuple_supported(self):
+        assert hash64(("a", 1)) == hash64(("a", 1))
+        assert hash64(("a", 1)) != hash64(("a", 2))
+
+    def test_fallback_via_repr(self):
+        assert hash64(3.25) == hash64(3.25)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_output_in_64_bits(self, value):
+        assert 0 <= hash64(value) <= MASK64
+
+    @given(st.text(max_size=40))
+    def test_text_output_in_64_bits(self, text):
+        assert 0 <= hash64(text) <= MASK64
+
+    def test_bit_uniformity_rough(self):
+        """Across many hashes, each of the low 16 bits is ~50% set."""
+        samples = [hash64(i) for i in range(4_000)]
+        for bit in range(16):
+            ones = sum((value >> bit) & 1 for value in samples)
+            assert 0.4 < ones / len(samples) < 0.6
+
+
+class TestRho:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 2), (3, 1), (4, 3), (8, 4), (12, 3), (1 << 20, 21)],
+    )
+    def test_known_values(self, value, expected):
+        assert rho(value) == expected
+
+    def test_zero_maps_past_max_bits(self):
+        assert rho(0, max_bits=10) == 11
+
+    @given(st.integers(min_value=1, max_value=2**62))
+    def test_rho_matches_definition(self, value):
+        # 2^(rho-1) divides value but 2^rho does not.
+        r = rho(value)
+        assert value % (1 << (r - 1)) == 0
+        assert (value >> (r - 1)) & 1 == 1
+
+
+class TestSplitHash:
+    def test_cell_within_range(self):
+        for item in range(200):
+            cell, _ = split_hash(item, index_bits=4)
+            assert 0 <= cell < 16
+
+    def test_rho_positive(self):
+        for item in range(200):
+            _, r = split_hash(item, index_bits=4)
+            assert r >= 1
+
+    def test_zero_index_bits_single_cell(self):
+        cell, _ = split_hash("x", index_bits=0)
+        assert cell == 0
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            split_hash("x", index_bits=-1)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError):
+            split_hash("x", index_bits=33)
+
+    def test_rejects_non_int_bits(self):
+        with pytest.raises(TypeError):
+            split_hash("x", index_bits=4.0)
+
+    def test_cells_roughly_uniform(self):
+        counts = [0] * 8
+        for item in range(8_000):
+            cell, _ = split_hash(item, index_bits=3)
+            counts[cell] += 1
+        for count in counts:
+            assert 800 < count < 1_200

@@ -1,0 +1,186 @@
+"""Unit + property tests for the from-scratch HyperLogLog."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.hll import HyperLogLog, alpha, estimate_from_registers
+
+
+class TestConstruction:
+    def test_default_is_paper_beta_512(self):
+        sketch = HyperLogLog()
+        assert sketch.num_registers == 512
+
+    def test_precision_sets_register_count(self):
+        assert HyperLogLog(precision=4).num_registers == 16
+
+    @pytest.mark.parametrize("precision", [1, 0, 21, -3])
+    def test_rejects_bad_precision(self, precision):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=precision)
+
+    def test_rejects_float_precision(self):
+        with pytest.raises(TypeError):
+            HyperLogLog(precision=9.0)
+
+    def test_rejects_non_int_salt(self):
+        with pytest.raises(TypeError):
+            HyperLogLog(salt="s")
+
+    def test_new_sketch_is_empty(self):
+        assert HyperLogLog(precision=4).is_empty()
+
+
+class TestAlpha:
+    def test_known_small_values(self):
+        assert alpha(16) == 0.673
+        assert alpha(32) == 0.697
+        assert alpha(64) == 0.709
+
+    def test_asymptotic_formula(self):
+        assert alpha(512) == pytest.approx(0.7213 / (1 + 1.079 / 512))
+
+    def test_tiny_m_falls_back(self):
+        assert alpha(4) == 0.673
+
+
+class TestEstimation:
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(precision=6).cardinality() == pytest.approx(0.0)
+
+    def test_single_item(self):
+        sketch = HyperLogLog(precision=6)
+        sketch.add("only")
+        assert 0.5 < sketch.cardinality() < 2.0
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog(precision=6)
+        for _ in range(1_000):
+            sketch.add("same")
+        assert sketch.cardinality() < 2.0
+
+    @pytest.mark.parametrize("true_count", [50, 500, 5_000])
+    def test_accuracy_within_five_sigma(self, true_count):
+        sketch = HyperLogLog(precision=9)
+        sketch.update(range(true_count))
+        error = abs(sketch.cardinality() - true_count) / true_count
+        assert error < 5 * sketch.standard_error()
+
+    def test_len_rounds_estimate(self):
+        sketch = HyperLogLog(precision=9)
+        sketch.update(range(100))
+        assert len(sketch) == round(sketch.cardinality())
+
+    def test_standard_error_formula(self):
+        assert HyperLogLog(precision=9).standard_error() == pytest.approx(
+            1.04 / math.sqrt(512)
+        )
+
+    @given(st.integers(min_value=10, max_value=2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_scales_with_cardinality(self, count):
+        sketch = HyperLogLog(precision=8)
+        sketch.update(range(count))
+        assert 0.5 * count < sketch.cardinality() < 1.6 * count
+
+
+class TestMerge:
+    def test_union_equals_adding_both_streams(self):
+        a = HyperLogLog(precision=7)
+        b = HyperLogLog(precision=7)
+        combined = HyperLogLog(precision=7)
+        for i in range(300):
+            a.add(i)
+            combined.add(i)
+        for i in range(200, 600):
+            b.add(i)
+            combined.add(i)
+        union = a.union(b)
+        assert union.registers() == combined.registers()
+
+    def test_merge_in_place(self):
+        a = HyperLogLog(precision=6)
+        b = HyperLogLog(precision=6)
+        a.update(range(100))
+        b.update(range(100, 200))
+        a.merge(b)
+        assert a.cardinality() > 150
+
+    def test_merge_idempotent(self):
+        a = HyperLogLog(precision=6)
+        a.update(range(100))
+        before = a.registers()
+        clone = HyperLogLog.from_dict(a.to_dict())
+        a.merge(clone)
+        assert a.registers() == before
+
+    def test_merge_commutative(self):
+        a1, b1 = HyperLogLog(precision=6), HyperLogLog(precision=6)
+        a2, b2 = HyperLogLog(precision=6), HyperLogLog(precision=6)
+        for i in range(150):
+            a1.add(i)
+            a2.add(i)
+        for i in range(100, 250):
+            b1.add(i)
+            b2.add(i)
+        a1.merge(b1)
+        b2.merge(a2)
+        assert a1.registers() == b2.registers()
+
+    def test_rejects_mismatched_precision(self):
+        with pytest.raises(ValueError, match="different precision/salt"):
+            HyperLogLog(precision=6).merge(HyperLogLog(precision=7))
+
+    def test_rejects_mismatched_salt(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=6, salt=0).merge(HyperLogLog(precision=6, salt=1))
+
+    def test_rejects_non_sketch(self):
+        with pytest.raises(TypeError):
+            HyperLogLog(precision=6).merge({"not": "a sketch"})
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sketch = HyperLogLog(precision=6, salt=3)
+        sketch.update(range(500))
+        restored = HyperLogLog.from_dict(sketch.to_dict())
+        assert restored.registers() == sketch.registers()
+        assert restored.precision == 6
+        assert restored.salt == 3
+
+    def test_rejects_wrong_register_length(self):
+        payload = HyperLogLog(precision=6).to_dict()
+        payload["registers"] = [0] * 10
+        with pytest.raises(ValueError, match="length"):
+            HyperLogLog.from_dict(payload)
+
+    def test_rejects_negative_registers(self):
+        payload = HyperLogLog(precision=6).to_dict()
+        payload["registers"][0] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            HyperLogLog.from_dict(payload)
+
+
+class TestEstimateFromRegisters:
+    def test_all_zero_registers_estimate_zero(self):
+        assert estimate_from_registers([0] * 16, 16) == pytest.approx(0.0)
+
+    def test_linear_counting_regime(self):
+        # One non-zero register among 16 → small-range correction applies.
+        registers = [0] * 16
+        registers[3] = 2
+        estimate = estimate_from_registers(registers, 16)
+        assert estimate == pytest.approx(16 * math.log(16 / 15))
+
+
+class TestSaltIndependence:
+    def test_accuracy_holds_across_salts(self):
+        """The estimator works for any choice of the hash salt."""
+        for salt in (1, 7, 1234):
+            sketch = HyperLogLog(precision=8, salt=salt)
+            sketch.update(range(1_000))
+            error = abs(sketch.cardinality() - 1_000) / 1_000
+            assert error < 0.35

@@ -1,0 +1,129 @@
+"""Unit + property tests for the sliding-window HyperLogLog (extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.sliding_hll import SlidingWindowHLL
+
+
+class TestConstruction:
+    def test_defaults(self):
+        sketch = SlidingWindowHLL()
+        assert sketch.num_cells == 512
+        assert sketch.last_time is None
+        assert sketch.entry_count() == 0
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            SlidingWindowHLL(precision=1)
+        with pytest.raises(TypeError):
+            SlidingWindowHLL(precision="9")
+
+
+class TestAdd:
+    def test_requires_time_order(self):
+        sketch = SlidingWindowHLL(precision=4)
+        sketch.add("a", 5)
+        with pytest.raises(ValueError, match="time order"):
+            sketch.add("b", 4)
+
+    def test_equal_times_allowed(self):
+        sketch = SlidingWindowHLL(precision=4)
+        sketch.add("a", 5)
+        sketch.add("b", 5)
+
+    def test_rejects_non_int_time(self):
+        sketch = SlidingWindowHLL(precision=4)
+        with pytest.raises(TypeError):
+            sketch.add("a", 1.5)
+
+    def test_frontier_invariant(self):
+        """Each cell keeps timestamps increasing, rho strictly decreasing."""
+        sketch = SlidingWindowHLL(precision=3)
+        for t in range(500):
+            sketch.add(t * 7919 % 1000, t)
+        for pairs in sketch._cells:
+            if not pairs:
+                continue
+            times = [t for t, _ in pairs]
+            rhos = [r for _, r in pairs]
+            assert times == sorted(times)
+            assert rhos == sorted(rhos, reverse=True)
+            assert len(set(rhos)) == len(rhos)
+
+
+class TestEstimation:
+    def test_whole_stream_estimate(self):
+        sketch = SlidingWindowHLL(precision=9)
+        for i in range(2_000):
+            sketch.add(i, i)
+        assert 0.8 * 2_000 < sketch.cardinality() < 1.2 * 2_000
+        assert len(sketch) == round(sketch.cardinality())
+
+    def test_window_estimate_tracks_truth(self):
+        sketch = SlidingWindowHLL(precision=9)
+        for t in range(3_000):
+            sketch.add(f"item-{t}", t)
+        # Last 500 ticks hold exactly 500 distinct items.
+        estimate = sketch.cardinality_since(2_500)
+        assert 400 < estimate < 600
+
+    def test_duplicates_not_double_counted(self):
+        sketch = SlidingWindowHLL(precision=8)
+        for t in range(1_000):
+            sketch.add(t % 100, t)
+        estimate = sketch.cardinality_since(0)
+        assert 75 < estimate < 130
+
+    def test_window_estimates_monotone_in_start(self):
+        sketch = SlidingWindowHLL(precision=8)
+        for t in range(1_000):
+            sketch.add(t, t)
+        estimates = [sketch.cardinality_since(s) for s in (0, 250, 500, 750)]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_future_window_is_empty(self):
+        sketch = SlidingWindowHLL(precision=6)
+        sketch.add("a", 10)
+        assert sketch.cardinality_since(11) == pytest.approx(0.0)
+
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=50), max_size=60),
+        start_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_register_equals_replay(self, items, start_fraction):
+        """For any window start, the sliding sketch's registers equal those
+        of a plain HLL fed only the in-window arrivals."""
+        from repro.sketch.hll import HyperLogLog
+
+        sketch = SlidingWindowHLL(precision=4)
+        for t, item in enumerate(items):
+            sketch.add(item, t)
+        start = int(len(items) * start_fraction)
+        replay = HyperLogLog(precision=4)
+        for item in items[start:]:
+            replay.add(item)
+        assert sketch.registers_since(start) == replay.registers()
+
+
+class TestPrune:
+    def test_prune_drops_old_entries(self):
+        sketch = SlidingWindowHLL(precision=6)
+        for t in range(1_000):
+            sketch.add(t, t)
+        before = sketch.entry_count()
+        sketch.prune(900)
+        assert sketch.entry_count() <= before
+        # Windows starting at or after the prune point are unaffected.
+        assert sketch.cardinality_since(950) > 20
+
+    def test_prune_rejects_bad_argument(self):
+        with pytest.raises(TypeError):
+            SlidingWindowHLL(precision=4).prune("old")
+
+    def test_prune_to_empty(self):
+        sketch = SlidingWindowHLL(precision=4)
+        sketch.add("a", 1)
+        sketch.prune(100)
+        assert sketch.entry_count() == 0

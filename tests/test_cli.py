@@ -1,0 +1,193 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.interactions import InteractionLog
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = str(tmp_path / "log.txt")
+    InteractionLog(
+        [("a", "b", 1), ("b", "c", 5), ("a", "c", 9), ("c", "d", 12)]
+    ).write(path)
+    return path
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["divine"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "lkml-sim"])
+
+
+class TestGenerate:
+    def test_writes_edge_list(self, tmp_path):
+        output = str(tmp_path / "generated.txt")
+        code, text = run_cli(
+            [
+                "generate",
+                "--dataset",
+                "slashdot-sim",
+                "--scale",
+                "0.05",
+                "--seed",
+                "3",
+                "--output",
+                output,
+            ]
+        )
+        assert code == 0
+        assert "wrote 70 interactions" in text
+        restored = InteractionLog.read(output, int_nodes=True)
+        assert restored.num_interactions == 70
+
+    def test_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.txt")
+        b = str(tmp_path / "b.txt")
+        run_cli(["generate", "--dataset", "lkml-sim", "--scale", "0.02", "-o", a])
+        run_cli(["generate", "--dataset", "lkml-sim", "--scale", "0.02", "-o", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestStats:
+    def test_reports_counts(self, log_file):
+        code, text = run_cli(["stats", log_file])
+        assert code == 0
+        assert "nodes:         4" in text
+        assert "interactions:  4" in text
+        assert "time span:     12 ticks" in text
+        assert "distinct times: yes" in text
+
+    def test_missing_file_is_error(self):
+        code, _ = run_cli(["stats", "/nonexistent/log.txt"])
+        assert code == 1
+
+
+class TestTopk:
+    def test_irs_approx_default(self, log_file):
+        code, text = run_cli(["topk", log_file, "--k", "2", "--window-percent", "100"])
+        assert code == 0
+        assert "top-2 seeds by IRS-approx" in text
+        assert " 1. a" in text
+
+    def test_exact_irs(self, log_file):
+        code, text = run_cli(
+            ["topk", log_file, "--k", "1", "--method", "irs", "--window-percent", "100"]
+        )
+        assert code == 0
+        assert " 1. a" in text
+
+    @pytest.mark.parametrize("method", ["pagerank", "hd", "shd", "skim", "cte"])
+    def test_baseline_methods(self, log_file, method):
+        code, text = run_cli(
+            ["topk", log_file, "--k", "2", "--method", method]
+        )
+        assert code == 0
+        assert "top-2 seeds" in text
+
+
+class TestExplain:
+    def test_witness_shown(self, log_file):
+        code, text = run_cli(
+            [
+                "explain",
+                log_file,
+                "--source",
+                "a",
+                "--target",
+                "c",
+                "--window-percent",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "could have influenced" in text
+        assert "->" in text
+
+    def test_unreachable_reported(self, log_file):
+        code, text = run_cli(
+            ["explain", log_file, "--source", "d", "--target", "a"]
+        )
+        assert code == 0
+        assert "no information channel" in text
+
+
+class TestReport:
+    def test_report_to_stdout(self):
+        code, text = run_cli(
+            ["report", "--scale", "0.03", "--seed", "2", "--sections", "table2"]
+        )
+        assert code == 0
+        assert "# Experiment report" in text
+        assert "Table 2" in text
+
+    def test_report_to_file(self, tmp_path):
+        output = str(tmp_path / "report.md")
+        code, text = run_cli(
+            [
+                "report",
+                "--scale",
+                "0.03",
+                "--sections",
+                "table2",
+                "-o",
+                output,
+            ]
+        )
+        assert code == 0
+        assert "wrote report" in text
+        assert "# Experiment report" in open(output).read()
+
+    def test_unknown_section_is_error(self):
+        code, _ = run_cli(["report", "--scale", "0.03", "--sections", "tableX"])
+        assert code == 1
+
+
+class TestSpread:
+    def test_reports_estimate(self, log_file):
+        code, text = run_cli(
+            [
+                "spread",
+                log_file,
+                "--seeds",
+                "a",
+                "--window-percent",
+                "100",
+                "--probability",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        assert "expected spread of 1 seeds" in text
+        assert "4.0" in text  # a reaches b, c, d plus itself
+
+    def test_unknown_seed_warns_but_runs(self, log_file, capsys):
+        code, text = run_cli(
+            ["spread", log_file, "--seeds", "ghost", "--probability", "1.0"]
+        )
+        assert code == 0
+        assert "0.0" in text
+        assert "ghost" in capsys.readouterr().err
+
+    def test_bad_probability_is_error(self, log_file):
+        code, _ = run_cli(
+            ["spread", log_file, "--seeds", "a", "--probability", "2.0"]
+        )
+        assert code == 1

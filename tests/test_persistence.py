@@ -1,0 +1,112 @@
+"""Round-trip determinism: save → reload → identical results everywhere.
+
+A reproduction package must be *replayable*: any result computed from a
+log must be recomputable bit-for-bit after the log travels through disk,
+and every index built twice from equal inputs must answer identically.
+"""
+
+import io
+
+import pytest
+
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.interactions import InteractionLog
+from repro.core.maximization import greedy_top_k
+from repro.core.multiwindow import MultiWindowIRS
+from repro.core.oracle import ApproxInfluenceOracle, ExactInfluenceOracle
+from repro.datasets.generators import email_network
+from repro.datasets.loaders import read_csv, write_csv
+from repro.simulation.spread import estimate_spread
+
+
+@pytest.fixture(scope="module")
+def source_log():
+    return email_network(70, 900, 4_000, rng=55)
+
+
+@pytest.fixture(scope="module")
+def reloaded_log(source_log, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("persist") / "log.txt")
+    source_log.write(path)
+    return InteractionLog.read(path, int_nodes=True)
+
+
+class TestLogRoundTrip:
+    def test_edge_list_preserves_everything(self, source_log, reloaded_log):
+        assert reloaded_log == source_log
+
+    def test_csv_round_trip_matches_edge_list(self, source_log):
+        buffer = io.StringIO()
+        write_csv(source_log, buffer)
+        buffer.seek(0)
+        assert read_csv(buffer, int_nodes=True) == source_log
+
+
+class TestIndexDeterminism:
+    def test_exact_index_identical_after_reload(self, source_log, reloaded_log):
+        window = source_log.window_from_percent(10)
+        original = ExactIRS.from_log(source_log, window)
+        reloaded = ExactIRS.from_log(reloaded_log, window)
+        for node in source_log.nodes:
+            assert original.summary(node).to_dict() == reloaded.summary(node).to_dict()
+
+    def test_approx_index_identical_after_reload(self, source_log, reloaded_log):
+        window = source_log.window_from_percent(10)
+        original = ApproxIRS.from_log(source_log, window, precision=7)
+        reloaded = ApproxIRS.from_log(reloaded_log, window, precision=7)
+        for node in source_log.nodes:
+            assert original.sketch(node).to_dict() == reloaded.sketch(node).to_dict()
+
+    def test_multiwindow_identical_after_reload(self, source_log, reloaded_log):
+        original = MultiWindowIRS.from_log(source_log)
+        reloaded = MultiWindowIRS.from_log(reloaded_log)
+        for node in list(source_log.nodes)[:20]:
+            assert original.reachability_set(node, 400) == reloaded.reachability_set(
+                node, 400
+            )
+
+    def test_seed_selection_identical_after_reload(self, source_log, reloaded_log):
+        window = source_log.window_from_percent(10)
+        first = greedy_top_k(
+            ExactInfluenceOracle.from_index(ExactIRS.from_log(source_log, window)), 8
+        )
+        second = greedy_top_k(
+            ExactInfluenceOracle.from_index(ExactIRS.from_log(reloaded_log, window)), 8
+        )
+        assert first == second
+
+    def test_simulation_identical_after_reload(self, source_log, reloaded_log):
+        window = source_log.window_from_percent(10)
+        seeds = sorted(source_log.nodes)[:4]
+        a = estimate_spread(source_log, seeds, window, 0.5, runs=8, rng=2)
+        b = estimate_spread(reloaded_log, seeds, window, 0.5, runs=8, rng=2)
+        assert a.samples == b.samples
+
+
+class TestSketchSerializationAcrossIndexes:
+    def test_oracle_from_serialized_sketches(self, source_log):
+        """Registers extracted, shipped, and rebuilt into an oracle give
+        the same spreads as the live index."""
+        window = source_log.window_from_percent(10)
+        index = ApproxIRS.from_log(source_log, window, precision=7)
+        live = ApproxInfluenceOracle.from_index(index)
+        shipped = ApproxInfluenceOracle(
+            {node: index.registers(node) for node in index.nodes},
+            num_cells=index.num_cells,
+        )
+        seeds = sorted(source_log.nodes)[:10]
+        assert shipped.spread(seeds) == pytest.approx(live.spread(seeds))
+
+    def test_vhll_dict_round_trip_preserves_windowed_queries(self, source_log):
+        from repro.sketch.vhll import VersionedHLL
+
+        window = source_log.window_from_percent(10)
+        index = ApproxIRS.from_log(source_log, window, precision=7)
+        node = sorted(source_log.nodes)[0]
+        sketch = index.sketch(node)
+        restored = VersionedHLL.from_dict(sketch.to_dict())
+        for deadline in (100, 1_000, 4_000):
+            assert restored.effective_registers(max_time=deadline) == (
+                sketch.effective_registers(max_time=deadline)
+            )

@@ -1,0 +1,54 @@
+"""Unit tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rng
+
+
+class TestResolveRng:
+    def test_none_gives_random_instance(self):
+        assert isinstance(resolve_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42)
+        b = resolve_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert resolve_rng(1).random() != resolve_rng(2).random()
+
+    def test_random_instance_passthrough(self):
+        source = random.Random(0)
+        assert resolve_rng(source) is source
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnRng:
+    def test_deterministic_per_stream(self):
+        a = spawn_rng(random.Random(9), 3)
+        b = spawn_rng(random.Random(9), 3)
+        assert a.random() == b.random()
+
+    def test_streams_decorrelated(self):
+        parent = random.Random(9)
+        a = spawn_rng(parent, 0)
+        parent2 = random.Random(9)
+        b = spawn_rng(parent2, 1)
+        assert a.random() != b.random()
+
+    def test_rejects_non_int_stream(self):
+        with pytest.raises(TypeError):
+            spawn_rng(random.Random(0), "x")
+
+    def test_rejects_bool_stream(self):
+        with pytest.raises(TypeError):
+            spawn_rng(random.Random(0), False)

@@ -1,0 +1,33 @@
+"""Unit tests for repro.utils.timer."""
+
+import time
+
+from repro.utils.timer import Timer, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.004
+        assert timer.elapsed != first or first >= 0.0
+
+
+class TestTimeCall:
+    def test_returns_result_and_duration(self):
+        result, elapsed = time_call(lambda: 7 * 6)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_duration_reflects_work(self):
+        _, elapsed = time_call(lambda: time.sleep(0.01))
+        assert elapsed >= 0.009

@@ -1,0 +1,126 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive_int(self):
+        require_positive(3, "x")
+
+    def test_accepts_positive_float(self):
+        require_positive(0.5, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError, match="x must be a number"):
+            require_positive("3", "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_accepts_positive(self):
+        require_non_negative(2.5, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            require_non_negative(-0.1, "x")
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            require_non_negative(None, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts_valid(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="p must be in"):
+            require_probability(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_probability(True, "p")
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 512, 1024])
+    def test_accepts_powers(self, value):
+        require_power_of_two(value, "beta")
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 100])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            require_power_of_two(value, "beta")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_power_of_two(4.0, "beta")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range(0, "x", 0, 10)
+        require_in_range(10, "x", 0, 10)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(11, "x", 0, 10)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            require_in_range("5", "x", 0, 10)
+
+
+class TestRequireType:
+    def test_accepts_match(self):
+        require_type([1], "xs", list)
+
+    def test_accepts_tuple_of_types(self):
+        require_type(3, "x", (int, float))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="xs must be of type list"):
+            require_type((1,), "xs", list)
+
+    def test_error_names_tuple_types(self):
+        with pytest.raises(TypeError, match="int, float"):
+            require_type("a", "x", (int, float))
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        require_non_empty([1], "xs")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="xs must not be empty"):
+            require_non_empty([], "xs")
+
+    def test_rejects_generator(self):
+        with pytest.raises(TypeError, match="sized container"):
+            require_non_empty((x for x in [1]), "xs")
