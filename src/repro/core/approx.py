@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
-from repro.core.interactions import InteractionLog
+from repro.core.interactions import Interaction, InteractionLog
+from repro.lint.contracts import invariant, post_approx_apply
 from repro.sketch.hashing import split_hash
 from repro.sketch.hll import estimate_from_registers
 from repro.sketch.vhll import VersionedHLL
-from repro.utils.validation import require_non_negative, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["ApproxIRS"]
 
@@ -51,8 +52,7 @@ class ApproxIRS:
     """
 
     def __init__(self, window: int, precision: int = 9, salt: int = 0) -> None:
-        if not isinstance(window, int) or isinstance(window, bool):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
         self._window = window
         self._precision = precision
@@ -84,7 +84,7 @@ class ApproxIRS:
         """
         require_type(log, "log", InteractionLog)
         index = cls(window, precision, salt)
-        batch: list = []
+        batch: list[Interaction] = []
         for record in log.reverse_time_order():
             if batch and record.time != batch[0].time:
                 index._process_batch(batch)
@@ -96,7 +96,7 @@ class ApproxIRS:
             index._sketch_for(node)
         return index
 
-    def _process_batch(self, records: list) -> None:
+    def _process_batch(self, records: list[Interaction]) -> None:
         """Process interactions sharing one time stamp (see from_log)."""
         if len(records) == 1:
             record = records[0]
@@ -119,8 +119,7 @@ class ApproxIRS:
         Equal stamps are rejected here (their merges would wrongly chain
         tied edges); :meth:`from_log` batches ties correctly.
         """
-        if isinstance(time, bool) or not isinstance(time, int):
-            raise TypeError(f"time must be an int, got {time!r}")
+        require_int(time, "time")
         if self._last_time is not None and time >= self._last_time:
             raise ValueError(
                 f"interactions must be processed in strictly decreasing time "
@@ -130,6 +129,7 @@ class ApproxIRS:
         self._last_time = time
         self._apply(source, target, time, self._sketches.get(target))
 
+    @invariant(post_approx_apply)
     def _apply(
         self,
         source: Node,

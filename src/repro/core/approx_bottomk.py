@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
-from repro.core.interactions import InteractionLog
+from repro.core.interactions import Interaction, InteractionLog
 from repro.sketch.bottomk import VersionedBottomK
-from repro.utils.validation import require_non_negative, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["BottomKIRS"]
 
@@ -42,8 +42,7 @@ class BottomKIRS:
     """
 
     def __init__(self, window: int, k: int = 64, salt: int = 0) -> None:
-        if isinstance(window, bool) or not isinstance(window, int):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
         self._window = window
         self._k = k
@@ -59,7 +58,7 @@ class BottomKIRS:
         """Build with one reverse pass (ties batched like the other indexes)."""
         require_type(log, "log", InteractionLog)
         index = cls(window, k, salt)
-        batch: list = []
+        batch: list[Interaction] = []
         for record in log.reverse_time_order():
             if batch and record.time != batch[0].time:
                 index._process_batch(batch)
@@ -71,7 +70,7 @@ class BottomKIRS:
             index._sketch_for(node)
         return index
 
-    def _process_batch(self, records: list) -> None:
+    def _process_batch(self, records: list[Interaction]) -> None:
         snapshots: Dict[Node, Optional[VersionedBottomK]] = {}
         for record in records:
             if record.target not in snapshots:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence
 
 from repro.core.interactions import Interaction, InteractionLog
-from repro.utils.validation import require_non_negative, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = [
     "reachability_summary",
@@ -52,8 +52,7 @@ def channel_end(channel: Sequence[Interaction]) -> int:
 
 def _validate(log: InteractionLog, window: int) -> None:
     require_type(log, "log", InteractionLog)
-    if not isinstance(window, int) or isinstance(window, bool):
-        raise TypeError("window must be an int")
+    require_int(window, "window")
     require_non_negative(window, "window")
 
 
@@ -139,8 +138,7 @@ def enumerate_channels(
     """
     require_type(log, "log", InteractionLog)
     if window is not None:
-        if not isinstance(window, int) or isinstance(window, bool):
-            raise TypeError("window must be an int or None")
+        require_int(window, "window")
         require_non_negative(window, "window")
 
     by_source: Dict[Node, List[Interaction]] = {}
@@ -179,6 +177,9 @@ def has_channel(
     log: InteractionLog, source: Node, target: Node, window: Optional[int] = None
 ) -> bool:
     """True iff some channel ``source → target`` exists (duration ≤ window)."""
+    if window is not None:
+        require_int(window, "window")
+        require_non_negative(window, "window")
     effective_window = window if window is not None else log.time_span
     return target in reachability_set(log, source, effective_window)
 

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
-from repro.core.interactions import InteractionLog
+from repro.core.interactions import Interaction, InteractionLog
 from repro.core.summary import IRSSummary
-from repro.utils.validation import require_non_negative, require_type
+from repro.lint.contracts import invariant, post_exact_apply
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["ExactIRS"]
 
@@ -47,8 +48,7 @@ class ExactIRS:
     """
 
     def __init__(self, window: int) -> None:
-        if not isinstance(window, int) or isinstance(window, bool):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
         self._window = window
         self._summaries: Dict[Node, IRSSummary] = {}
@@ -70,7 +70,7 @@ class ExactIRS:
         """
         require_type(log, "log", InteractionLog)
         index = cls(window)
-        batch: list = []
+        batch: list[Interaction] = []
         for record in log.reverse_time_order():
             if batch and record.time != batch[0].time:
                 index._process_batch(batch)
@@ -83,7 +83,7 @@ class ExactIRS:
             index._summaries.setdefault(node, IRSSummary())
         return index
 
-    def _process_batch(self, records: list) -> None:
+    def _process_batch(self, records: list[Interaction]) -> None:
         """Process interactions sharing one time stamp (see from_log)."""
         if len(records) == 1:
             record = records[0]
@@ -109,8 +109,7 @@ class ExactIRS:
         rejected — their merges would wrongly chain tied edges; use
         :meth:`from_log`, which batches ties correctly.
         """
-        if isinstance(time, bool) or not isinstance(time, int):
-            raise TypeError(f"time must be an int, got {time!r}")
+        require_int(time, "time")
         if self._last_time is not None and time >= self._last_time:
             raise ValueError(
                 f"interactions must be processed in strictly decreasing time "
@@ -120,6 +119,7 @@ class ExactIRS:
         self._last_time = time
         self._apply(source, target, time, self._summaries.get(target))
 
+    @invariant(post_exact_apply)
     def _apply(
         self,
         source: Node,

@@ -26,7 +26,7 @@ import heapq
 from typing import Hashable, Iterable, List, Optional, Sequence
 
 from repro.core.oracle import InfluenceOracle
-from repro.utils.validation import require_positive, require_type
+from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = [
     "greedy_top_k",
@@ -50,8 +50,7 @@ def _candidate_list(
 
 def _validate(oracle: InfluenceOracle, k: int) -> None:
     require_type(oracle, "oracle", InfluenceOracle)
-    if isinstance(k, bool) or not isinstance(k, int):
-        raise TypeError("k must be an int")
+    require_int(k, "k")
     require_positive(k, "k")
 
 

@@ -35,8 +35,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
-from repro.core.interactions import InteractionLog
-from repro.utils.validation import require_non_negative, require_type
+from repro.core.interactions import Interaction, InteractionLog
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["MultiWindowIRS"]
 
@@ -76,7 +76,7 @@ class MultiWindowIRS:
         """Build the index with one reverse pass over ``log``."""
         require_type(log, "log", InteractionLog)
         index = cls()
-        batch: list = []
+        batch: list[Interaction] = []
         for record in log.reverse_time_order():
             if batch and record.time != batch[0].time:
                 index._process_batch(batch)
@@ -88,7 +88,7 @@ class MultiWindowIRS:
             index._frontiers.setdefault(node, {})
         return index
 
-    def _process_batch(self, records: list) -> None:
+    def _process_batch(self, records: list[Interaction]) -> None:
         snapshots: Dict[Node, Optional[Dict[Node, List[Tuple[int, int]]]]] = {}
         for record in records:
             if record.target not in snapshots:
@@ -190,7 +190,7 @@ class MultiWindowIRS:
         ]
         return min(candidates) if candidates else None
 
-    def reachability_set(self, source: Node, window: int) -> set:
+    def reachability_set(self, source: Node, window: int) -> set[Node]:
         """``σω(source)`` for ω = ``window``."""
         self._check_window(window)
         frontier = self._frontiers.get(source, {})
@@ -230,8 +230,7 @@ class MultiWindowIRS:
 
     @staticmethod
     def _check_window(window: int) -> None:
-        if isinstance(window, bool) or not isinstance(window, int):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -26,7 +26,7 @@ from typing import Dict, Hashable, Iterable, List, Set
 from repro.core.approx import ApproxIRS
 from repro.core.exact import ExactIRS
 from repro.sketch.hll import estimate_from_registers
-from repro.utils.validation import require_type
+from repro.utils.validation import require_int, require_type
 
 __all__ = [
     "InfluenceOracle",
@@ -157,8 +157,7 @@ class ExactInfluenceOracle(InfluenceOracle):
         self, targets: Iterable[Node], k: int
     ) -> List[Node]:
         """Greedy top-``k`` seeds for covering ``targets`` specifically."""
-        if isinstance(k, bool) or not isinstance(k, int):
-            raise TypeError("k must be an int")
+        require_int(k, "k")
         if k <= 0:
             raise ValueError(f"k must be > 0, got {k}")
         wanted = set(targets)

@@ -42,7 +42,8 @@ from typing import Dict, Hashable, Iterable, Optional
 from repro.core.approx import ApproxIRS
 from repro.core.exact import ExactIRS
 from repro.core.interactions import InteractionLog
-from repro.utils.validation import require_non_negative, require_type
+from repro.lint.contracts import invariant, post_streaming_process
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = [
     "StreamingExactIndex",
@@ -71,8 +72,7 @@ class StreamingExactIndex:
     """
 
     def __init__(self, window: int) -> None:
-        if isinstance(window, bool) or not isinstance(window, int):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
         self._window = window
         self._dual = ExactIRS(window)
@@ -87,10 +87,10 @@ class StreamingExactIndex:
         """All nodes seen so far."""
         return self._dual.nodes
 
+    @invariant(post_streaming_process)
     def process(self, source: Node, target: Node, time: int) -> None:
         """Feed one interaction; times must be strictly increasing."""
-        if isinstance(time, bool) or not isinstance(time, int):
-            raise TypeError(f"time must be an int, got {time!r}")
+        require_int(time, "time")
         # Dual: flip direction, negate time.  The dual index enforces
         # strictly decreasing dual stamps == strictly increasing originals.
         self._dual.process(target, source, -time)
@@ -103,7 +103,7 @@ class StreamingExactIndex:
         index._dual = ExactIRS.from_log(log.time_reversed(), window)
         return index
 
-    def influencers(self, node: Node) -> set:
+    def influencers(self, node: Node) -> set[Node]:
         """``σω_in(node)`` — everyone with an in-budget channel into node."""
         return self._dual.reachability_set(node)
 
@@ -138,8 +138,7 @@ class StreamingSketchIndex:
     """
 
     def __init__(self, window: int, precision: int = 9, salt: int = 0) -> None:
-        if isinstance(window, bool) or not isinstance(window, int):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         require_non_negative(window, "window")
         self._window = window
         self._dual = ApproxIRS(window, precision=precision, salt=salt)
@@ -159,10 +158,10 @@ class StreamingSketchIndex:
         """All nodes seen so far."""
         return self._dual.nodes
 
+    @invariant(post_streaming_process)
     def process(self, source: Node, target: Node, time: int) -> None:
         """Feed one interaction; times must be strictly increasing."""
-        if isinstance(time, bool) or not isinstance(time, int):
-            raise TypeError(f"time must be an int, got {time!r}")
+        require_int(time, "time")
         self._dual.process(target, source, -time)
 
     @classmethod
@@ -196,7 +195,7 @@ class StreamingSketchIndex:
 
 def influencers_of(
     log: InteractionLog, node: Node, window: int
-) -> set:
+) -> set[Node]:
     """One-shot ``σω_in(node)`` for a complete log.
 
     Convenience wrapper over :class:`StreamingExactIndex` for offline use;

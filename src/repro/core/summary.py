@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, ItemsView, Iterator, KeysView, Optional
 
-from repro.utils.validation import require_type
+from repro.lint.contracts import invariant, post_summary_add, post_summary_merge
+from repro.utils.validation import require_int, require_type
 
 __all__ = ["IRSSummary"]
 
@@ -45,6 +46,7 @@ class IRSSummary:
     # ------------------------------------------------------------------
     # Updates (paper Algorithm 2's Add / Merge)
     # ------------------------------------------------------------------
+    @invariant(post_summary_add)
     def add(self, node: Node, end_time: int) -> None:
         """Record a channel to ``node`` ending at ``end_time``; keep the min.
 
@@ -54,6 +56,7 @@ class IRSSummary:
         if current is None or end_time < current:
             self._entries[node] = end_time
 
+    @invariant(post_summary_merge)
     def merge_within(
         self,
         other: "IRSSummary",
@@ -69,6 +72,8 @@ class IRSSummary:
         added.  ``skip`` suppresses channels looping back to the summarised
         node itself, which carry no influence.
         """
+        require_int(start_time, "start_time")
+        require_int(window, "window")
         deadline = start_time + window  # keep t_x < deadline
         entries = self._entries
         for node, end_time in other._entries.items():

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.interactions import Interaction, InteractionLog
-from repro.utils.validation import require_non_negative, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["find_channel", "explain_influence"]
 
@@ -41,8 +41,7 @@ def find_channel(
     uses earliest-arrival hops (each prefix arrives as early as possible).
     """
     require_type(log, "log", InteractionLog)
-    if isinstance(window, bool) or not isinstance(window, int):
-        raise TypeError("window must be an int")
+    require_int(window, "window")
     require_non_negative(window, "window")
     if window == 0 or source == target:
         return None

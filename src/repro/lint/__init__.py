@@ -1,0 +1,45 @@
+"""Repro-specific static analysis and runtime contracts.
+
+Two complementary layers guard the invariants the paper's correctness
+rests on but the Python type system never sees:
+
+* a custom AST linter (``python -m repro.lint``) with repro-specific
+  rules — see :mod:`repro.lint.rules` for the rule catalogue and
+  ``docs/static_analysis.md`` for the rationale behind each rule;
+* a runtime contract layer (:mod:`repro.lint.contracts`) whose
+  ``@invariant`` decorator self-checks the λ-map and vHLL dominance
+  invariants on every update when ``REPRO_DEBUG_CONTRACTS=1`` and is a
+  zero-cost identity otherwise.
+
+This package deliberately depends on nothing outside the standard
+library so that the algorithm modules can import the contract decorators
+without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from repro.lint.contracts import (
+    CONTRACTS_ENV,
+    ContractViolation,
+    contracts_enabled,
+    invariant,
+)
+from repro.lint.engine import LintEngine, Violation, lint_paths, lint_source
+from repro.lint.reporting import render_json, render_text
+from repro.lint.rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "CONTRACTS_ENV",
+    "ContractViolation",
+    "LintEngine",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "contracts_enabled",
+    "get_rule",
+    "invariant",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,190 @@
+"""The lint engine: file walking, suppression parsing, rule dispatch.
+
+The engine is deliberately small: it parses each file once with
+:mod:`ast`, determines which ``repro`` sub-package the file belongs to
+(rules restrict themselves to sub-packages via their ``scopes``
+attribute), collects violations from every selected rule, and filters
+them through the suppression comments.
+
+Suppression syntax
+------------------
+``# repro-lint: disable=R001`` (comma-separated rule ids, or ``all``):
+
+* on a line of its own → suppresses the listed rules for the whole file;
+* trailing a statement → suppresses the listed rules on that line only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.rules import Rule, all_rules
+
+__all__ = ["Violation", "FileContext", "LintEngine", "lint_paths", "lint_source"]
+
+#: Sub-packages of ``repro`` that rule scopes refer to.
+KNOWN_SUBPACKAGES = frozenset(
+    {"core", "sketch", "simulation", "baselines", "datasets", "analysis", "utils", "lint"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: ``repro`` sub-package the file lives in (``"core"``, ``"sketch"``, …)
+    #: or ``None`` when the file is outside the package — rules then apply
+    #: unconditionally, which is what lint fixtures in tests rely on.
+    subpackage: Optional[str] = None
+    file_suppressions: set = field(default_factory=set)
+    line_suppressions: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<string>", subpackage: Optional[str] = None
+    ) -> "FileContext":
+        """Parse ``source`` and collect its suppression comments."""
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree, subpackage=subpackage)
+        ctx._collect_suppressions()
+        return ctx
+
+    def _collect_suppressions(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if line.lstrip().startswith("#"):
+                self.file_suppressions |= ids
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(ids)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """True when a suppression comment silences ``violation``."""
+        if "all" in self.file_suppressions or violation.rule_id in self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(violation.line)
+        return bool(on_line) and ("all" in on_line or violation.rule_id in on_line)
+
+
+def _infer_subpackage(path: Path) -> Optional[str]:
+    """The ``repro`` sub-package ``path`` belongs to, if any.
+
+    ``.../src/repro/core/exact.py`` → ``"core"``; a file directly under
+    ``repro/`` maps to ``""`` (top level, matches no scoped rule); files
+    outside any ``repro`` package map to ``None``.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            remainder = parts[i + 1 : -1]
+            if remainder and remainder[0] in KNOWN_SUBPACKAGES:
+                return remainder[0]
+            return ""
+    return None
+
+
+class LintEngine:
+    """Run a set of rules over files or in-memory source."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self._rules: tuple = tuple(rules) if rules is not None else tuple(all_rules())
+
+    @property
+    def rules(self) -> tuple:
+        """The rules this engine dispatches to."""
+        return self._rules
+
+    def lint_context(self, ctx: FileContext) -> list:
+        """All unsuppressed violations for one parsed file."""
+        violations: list = []
+        for rule in self._rules:
+            if ctx.subpackage is not None and rule.scopes is not None:
+                if ctx.subpackage not in rule.scopes:
+                    continue
+            violations.extend(rule.check(ctx))
+        return sorted(
+            (v for v in violations if not ctx.is_suppressed(v)),
+            key=lambda v: (v.line, v.col, v.rule_id),
+        )
+
+    def lint_file(self, path: Path) -> list:
+        """Lint one file on disk; raises ``SyntaxError`` on unparsable input."""
+        source = path.read_text(encoding="utf-8")
+        ctx = FileContext.from_source(
+            source, path=str(path), subpackage=_infer_subpackage(path)
+        )
+        return self.lint_context(ctx)
+
+    def lint_paths(self, paths: Iterable) -> tuple:
+        """Lint files and directory trees; returns ``(violations, files_checked)``."""
+        violations: list = []
+        checked = 0
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                targets = sorted(path.rglob("*.py"))
+            elif path.exists():
+                targets = [path]
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+            for target in targets:
+                violations.extend(self.lint_file(target))
+                checked += 1
+        return violations, checked
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    subpackage: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list:
+    """Lint an in-memory snippet — the unit-test entry point.
+
+    ``subpackage=None`` applies every selected rule unconditionally;
+    pass e.g. ``subpackage="analysis"`` to exercise scope filtering.
+    """
+    engine = LintEngine(rules)
+    ctx = FileContext.from_source(source, path=path, subpackage=subpackage)
+    return engine.lint_context(ctx)
+
+
+def lint_paths(paths: Iterable, rules: Optional[Sequence[Rule]] = None) -> tuple:
+    """Module-level convenience mirroring :meth:`LintEngine.lint_paths`."""
+    return LintEngine(rules).lint_paths(paths)

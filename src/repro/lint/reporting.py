@@ -1,0 +1,39 @@
+"""Reporters for lint results: human-readable text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(violations: Sequence, files_checked: int) -> str:
+    """GCC-style ``path:line:col: RXXX message`` lines plus a summary."""
+    lines = [
+        f"{violation.location()}: {violation.rule_id} {violation.message}"
+        for violation in sorted(
+            violations, key=lambda v: (v.path, v.line, v.col, v.rule_id)
+        )
+    ]
+    noun = "violation" if len(violations) == 1 else "violations"
+    files = "file" if files_checked == 1 else "files"
+    lines.append(
+        f"repro-lint: {len(violations)} {noun} in {files_checked} {files} checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence, files_checked: int) -> str:
+    """A JSON document with the violation list and counters."""
+    payload = {
+        "violations": [
+            violation.to_dict()
+            for violation in sorted(
+                violations, key=lambda v: (v.path, v.line, v.col, v.rule_id)
+            )
+        ],
+        "count": len(violations),
+        "files_checked": files_checked,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,507 @@
+"""The rule catalogue of the repro linter.
+
+Each rule guards an invariant of the reproduction that ordinary Python
+tooling cannot see (see ``docs/static_analysis.md`` for the paper-side
+rationale):
+
+* **R001** — no wall-clock time or unseeded randomness inside the
+  algorithm packages (``core``, ``sketch``, ``simulation``,
+  ``baselines``).  Experiments must be bit-for-bit reproducible from a
+  seed; stochastic components go through :mod:`repro.utils.rng`.
+* **R002** — public algorithm entry points taking window/precision/
+  probability parameters must validate them through
+  :mod:`repro.utils.validation` (or forward them to a callee that does).
+* **R003** — no in-place mutation of a sequence bound from a sort or
+  loader result.  The one-pass algorithms assume time-sorted input;
+  mutating a sorted sequence silently breaks Definition 2.
+* **R004** — public functions in ``core`` and ``sketch`` carry complete
+  type annotations, keeping the mypy gate meaningful.
+
+Rules are plain classes registered in :data:`REGISTRY`; adding a rule is
+subclassing :class:`Rule` and decorating with :func:`register`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "select_rules",
+    "NoWallClockOrUnseededRandom",
+    "ValidateAlgorithmParameters",
+    "NoMutationAfterSort",
+    "PublicApiFullyAnnotated",
+]
+
+ALGORITHM_SCOPES = frozenset({"core", "sketch", "simulation", "baselines"})
+TYPED_SCOPES = frozenset({"core", "sketch"})
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``R001`` …) used in reports and suppressions.
+    scopes:
+        ``repro`` sub-packages the rule applies to, or ``None`` for all.
+    """
+
+    rule_id: str = "R000"
+    name: str = "abstract-rule"
+    description: str = ""
+    scopes: Optional[frozenset] = None
+
+    def check(self, ctx) -> list:
+        """Return the rule's violations for one :class:`FileContext`."""
+        raise NotImplementedError
+
+    def violation(self, ctx, node: ast.AST, message: str):
+        """Build a :class:`Violation` anchored at ``node``."""
+        from repro.lint.engine import Violation
+
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule (as a singleton instance) to the registry."""
+    instance = cls()
+    if instance.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> list:
+    """Every registered rule, ordered by id."""
+    return [REGISTRY[key] for key in sorted(REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule; raises ``KeyError`` with the known ids on miss."""
+    try:
+        return REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def select_rules(ids) -> list:
+    """The subset of the registry named by ``ids`` (ordered, validated)."""
+    return [get_rule(rule_id) for rule_id in sorted(set(ids))]
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """Dotted name of a call's target, else ``None`` for dynamic calls."""
+    return _dotted_name(call.func)
+
+
+def _walk_functions(tree: ast.Module) -> Iterator:
+    """Yield every (sync or async) function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_public_entry_point(func) -> bool:
+    """Public API functions plus ``__init__`` (the main constructor gate)."""
+    name = func.name
+    if name == "__init__":
+        return True
+    return not name.startswith("_")
+
+
+# ----------------------------------------------------------------------
+# R001 — determinism
+# ----------------------------------------------------------------------
+
+
+@register
+class NoWallClockOrUnseededRandom(Rule):
+    """Forbid wall-clock reads and unseeded module-level randomness."""
+
+    rule_id = "R001"
+    name = "no-wall-clock-or-unseeded-random"
+    description = (
+        "Algorithm code must not read the wall clock (time.time, datetime.now) "
+        "or draw from unseeded module-level RNGs (random.*, argless "
+        "np.random.*); use repro.utils.rng helpers so runs are reproducible."
+    )
+    scopes = ALGORITHM_SCOPES
+
+    #: Calls that read the wall clock — non-deterministic across runs.
+    WALL_CLOCK = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, ctx) -> list:
+        violations = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callee_name(node)
+            if name is None:
+                continue
+            if name in self.WALL_CLOCK:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"wall-clock call {name}() is non-deterministic; "
+                        "pass times in explicitly or use utils.timer for benchmarks",
+                    )
+                )
+            elif self._is_unseeded_random(name, node):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"unseeded randomness {name}(...) breaks reproducibility; "
+                        "use repro.utils.rng.resolve_rng / spawn_rng instead",
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _is_unseeded_random(name: str, call: ast.Call) -> bool:
+        has_args = bool(call.args or call.keywords)
+        if name.startswith("random."):
+            # random.Random(seed) constructs a seeded local generator and
+            # is fine; everything else on the module draws from (or
+            # reseeds) the hidden global state.
+            return not (name == "random.Random" and has_args)
+        if name.startswith(("np.random.", "numpy.random.")):
+            # Seeded construction (np.random.default_rng(seed),
+            # np.random.Generator(...), np.random.RandomState(seed)) is
+            # deterministic; everything else on the module — and argless
+            # constructors — draws from the unseeded global generator.
+            short = name.rsplit(".", 1)[-1]
+            if short in ("default_rng", "Generator", "RandomState"):
+                return not has_args
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R002 — parameter validation
+# ----------------------------------------------------------------------
+
+
+@register
+class ValidateAlgorithmParameters(Rule):
+    """Require repro.utils.validation checks on algorithm parameters."""
+
+    rule_id = "R002"
+    name = "validate-algorithm-parameters"
+    description = (
+        "Public entry points taking window/omega, precision/num_registers or "
+        "probability parameters must validate them via repro.utils.validation "
+        "(or forward them, by name, to a callee that does)."
+    )
+    scopes = ALGORITHM_SCOPES
+
+    #: Monitored parameter name → validator names that discharge it.
+    MONITORED: Dict[str, frozenset] = {
+        "window": frozenset(
+            {"require_non_negative", "require_positive", "require_in_range", "require_int"}
+        ),
+        "omega": frozenset(
+            {"require_non_negative", "require_positive", "require_in_range", "require_int"}
+        ),
+        "precision": frozenset(
+            {"require_in_range", "require_power_of_two", "require_positive", "require_int"}
+        ),
+        "num_registers": frozenset(
+            {"require_in_range", "require_power_of_two", "require_positive", "require_int"}
+        ),
+        "probability": frozenset({"require_probability", "require_in_range"}),
+    }
+
+    def check(self, ctx) -> list:
+        violations = []
+        for func in _walk_functions(ctx.tree):
+            if not _is_public_entry_point(func):
+                continue
+            monitored = [
+                arg.arg
+                for arg in (func.args.posonlyargs + func.args.args + func.args.kwonlyargs)
+                if arg.arg in self.MONITORED
+            ]
+            if not monitored:
+                continue
+            validated, forwarded = self._classify_uses(func)
+            for param in monitored:
+                if param in validated or param in forwarded:
+                    continue
+                violations.append(
+                    self.violation(
+                        ctx,
+                        func,
+                        f"parameter {param!r} of {func.name}() is neither validated "
+                        f"via repro.utils.validation ("
+                        f"{'/'.join(sorted(self.MONITORED[param]))}) nor forwarded "
+                        "to a callee that validates it",
+                    )
+                )
+        return violations
+
+    def _classify_uses(self, func) -> tuple:
+        """Partition monitored params into validated / forwarded-by-name."""
+        validated: set = set()
+        forwarded: set = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node)
+            short = callee.rsplit(".", 1)[-1] if callee else ""
+            is_validator = short.startswith("require_")
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id in self.MONITORED:
+                    if is_validator and short in self.MONITORED[arg.id]:
+                        validated.add(arg.id)
+                    elif not is_validator:
+                        forwarded.add(arg.id)
+            for keyword in node.keywords:
+                value = keyword.value
+                if not (isinstance(value, ast.Name) and value.id in self.MONITORED):
+                    continue
+                if is_validator and short in self.MONITORED[value.id]:
+                    validated.add(value.id)
+                elif not is_validator and keyword.arg == value.id:
+                    forwarded.add(value.id)
+        return validated, forwarded
+
+
+# ----------------------------------------------------------------------
+# R003 — sorted sequences stay immutable
+# ----------------------------------------------------------------------
+
+
+@register
+class NoMutationAfterSort(Rule):
+    """Flag in-place mutation of names bound from sort/loader results."""
+
+    rule_id = "R003"
+    name = "no-mutation-after-sort"
+    description = (
+        "A sequence bound from sorted(...) or a loader must not be mutated "
+        "in place (.sort/.append/…, item assignment); the one-pass scans "
+        "assume the time order fixed at construction."
+    )
+    scopes = None  # everywhere under src/repro
+
+    MUTATORS = frozenset(
+        {"sort", "append", "extend", "insert", "remove", "pop", "clear", "reverse"}
+    )
+
+    #: A call binds a "sorted sequence" when its callee matches one of
+    #: these: the builtin sort, any loader (`load_*`), or the log's
+    #: order-materialising helpers.
+    PRODUCER_NAMES = frozenset({"sorted"})
+    PRODUCER_PREFIXES = ("load_",)
+    PRODUCER_ATTRS = frozenset({"reverse_time_order", "forward"})
+
+    def check(self, ctx) -> list:
+        violations = []
+        module_tracked: Dict[str, int] = {}
+        self._scan_body(ctx, ctx.tree.body, module_tracked, violations)
+        return violations
+
+    # -- producers ------------------------------------------------------
+    def _is_producer(self, value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = _callee_name(value)
+        if name is None:
+            return False
+        short = name.rsplit(".", 1)[-1]
+        return (
+            short in self.PRODUCER_NAMES
+            or short in self.PRODUCER_ATTRS
+            or any(short.startswith(prefix) for prefix in self.PRODUCER_PREFIXES)
+        )
+
+    # -- statement-ordered scan ----------------------------------------
+    def _scan_body(self, ctx, body, tracked: Dict[str, int], violations: list) -> None:
+        for stmt in body:
+            self._scan_stmt(ctx, stmt, tracked, violations)
+
+    def _scan_stmt(self, ctx, stmt, tracked: Dict[str, int], violations: list) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Fresh scope: parameters shadow, module bindings are visible.
+            inner = dict(tracked)
+            for arg in stmt.args.args + stmt.args.posonlyargs + stmt.args.kwonlyargs:
+                inner.pop(arg.arg, None)
+            self._scan_body(ctx, stmt.body, inner, violations)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._scan_body(ctx, stmt.body, dict(tracked), violations)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(ctx, stmt.value, tracked, violations)
+            for target in stmt.targets:
+                self._rebind(target, stmt.value, tracked)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._check_expr(ctx, stmt.value, tracked, violations)
+            self._rebind(stmt.target, stmt.value, tracked)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            # `log += [...]` mutates/rebinds; treat as a violation for
+            # tracked names, then drop tracking.
+            if isinstance(stmt.target, ast.Name) and stmt.target.id in tracked:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        stmt,
+                        f"augmented assignment mutates {stmt.target.id!r}, which was "
+                        "bound from a sort/loader result",
+                    )
+                )
+                tracked.pop(stmt.target.id, None)
+            self._check_expr(ctx, stmt.value, tracked, violations)
+            return
+        # Generic statements: check contained expressions, recurse into
+        # compound-statement bodies preserving statement order.
+        for expr_field in ("value", "test", "iter"):
+            value = getattr(stmt, expr_field, None)
+            if isinstance(value, ast.expr):
+                self._check_expr(ctx, value, tracked, violations)
+        for body_field in ("body", "orelse", "finalbody"):
+            body = getattr(stmt, body_field, None)
+            if isinstance(body, list):
+                self._scan_body(ctx, body, tracked, violations)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self._scan_body(ctx, handler.body, tracked, violations)
+        for item in getattr(stmt, "items", []) or []:  # with-statements
+            self._check_expr(ctx, item.context_expr, tracked, violations)
+
+    def _rebind(self, target: ast.AST, value: ast.AST, tracked: Dict[str, int]) -> None:
+        if isinstance(target, ast.Name):
+            if self._is_producer(value):
+                tracked[target.id] = getattr(value, "lineno", 0)
+            else:
+                tracked.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._rebind(element, ast.Constant(value=None), tracked)
+
+    def _check_expr(self, ctx, expr: ast.AST, tracked: Dict[str, int], violations: list) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self.MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracked
+            ):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{func.value.id}.{func.attr}(...) mutates a sequence bound "
+                        f"from a sort/loader result on line "
+                        f"{tracked[func.value.id]}; build a new sequence instead",
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# R004 — complete annotations on the public surface
+# ----------------------------------------------------------------------
+
+
+@register
+class PublicApiFullyAnnotated(Rule):
+    """Public functions in core/ and sketch/ must be fully annotated."""
+
+    rule_id = "R004"
+    name = "public-api-fully-annotated"
+    description = (
+        "Every public function (and __init__) in repro.core and repro.sketch "
+        "must annotate all parameters and its return type so the mypy gate "
+        "covers the whole algorithmic surface."
+    )
+    scopes = TYPED_SCOPES
+
+    def check(self, ctx) -> list:
+        violations = []
+        for func in _walk_functions(ctx.tree):
+            if not _is_public_entry_point(func):
+                continue
+            missing = self._missing_annotations(func)
+            if missing:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        func,
+                        f"{func.name}() is missing annotations for: "
+                        f"{', '.join(missing)}",
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _missing_annotations(func) -> list:
+        args = func.args
+        ordered = args.posonlyargs + args.args
+        missing = [
+            arg.arg
+            for index, arg in enumerate(ordered)
+            if arg.annotation is None
+            and not (index == 0 and arg.arg in ("self", "cls"))
+        ]
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                missing.append(f"*{star.arg}")
+        if func.returns is None:
+            missing.append("return")
+        return missing

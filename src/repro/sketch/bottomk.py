@@ -33,7 +33,7 @@ from bisect import bisect_left, insort
 from typing import Dict, Hashable, Iterable, Optional
 
 from repro.sketch.hashing import MASK64, hash64
-from repro.utils.validation import require_positive, require_type
+from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = ["BottomK", "VersionedBottomK"]
 
@@ -57,8 +57,7 @@ class BottomK:
     __slots__ = ("_k", "_salt", "_hashes")
 
     def __init__(self, k: int = 64, salt: int = 0) -> None:
-        if isinstance(k, bool) or not isinstance(k, int):
-            raise TypeError("k must be an int")
+        require_int(k, "k")
         if k < 3:
             raise ValueError(f"k must be >= 3 for the (k-1)/h_k estimator, got {k}")
         require_type(salt, "salt", int)
@@ -146,8 +145,7 @@ class VersionedBottomK:
     __slots__ = ("_k", "_salt", "_entries")
 
     def __init__(self, k: int = 64, salt: int = 0) -> None:
-        if isinstance(k, bool) or not isinstance(k, int):
-            raise TypeError("k must be an int")
+        require_int(k, "k")
         if k < 3:
             raise ValueError(f"k must be >= 3, got {k}")
         require_type(salt, "salt", int)
@@ -162,8 +160,7 @@ class VersionedBottomK:
 
     def add(self, item: Hashable, timestamp: int) -> None:
         """Record ``item`` reached by a channel ending at ``timestamp``."""
-        if isinstance(timestamp, bool) or not isinstance(timestamp, int):
-            raise TypeError("timestamp must be an int")
+        require_int(timestamp, "timestamp")
         self._insert(_unit_hash(item, self._salt), timestamp)
 
     def _insert(self, value: float, timestamp: int) -> None:
@@ -187,8 +184,7 @@ class VersionedBottomK:
         require_type(other, "other", VersionedBottomK)
         if (self._k, self._salt) != (other._k, other._salt):
             raise ValueError("cannot merge sketches with different (k, salt)")
-        if isinstance(window, bool) or not isinstance(window, int):
-            raise TypeError("window must be an int")
+        require_int(window, "window")
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
         deadline = start_time + window

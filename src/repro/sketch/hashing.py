@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.utils.validation import require_int
+
 __all__ = [
     "hash64",
     "rho",
@@ -96,8 +98,7 @@ def split_hash(item: Hashable, index_bits: int, salt: int = 0) -> tuple[int, int
     paper's §3.2.1 (there the *first* k bits pick the cell — which bits are
     used is immaterial as long as index and ρ come from disjoint bit ranges).
     """
-    if not isinstance(index_bits, int) or isinstance(index_bits, bool):
-        raise TypeError("index_bits must be an int")
+    require_int(index_bits, "index_bits")
     if not 0 <= index_bits <= 32:
         raise ValueError(f"index_bits must be in [0, 32], got {index_bits}")
     h = hash64(item, salt)

@@ -25,7 +25,7 @@ import math
 from typing import Hashable, Iterable, Iterator, Optional
 
 from repro.sketch.hashing import split_hash
-from repro.utils.validation import require_type
+from repro.utils.validation import require_in_range, require_int, require_type
 
 __all__ = ["HyperLogLog", "alpha", "estimate_from_registers"]
 
@@ -97,10 +97,8 @@ class HyperLogLog:
     __slots__ = ("_precision", "_m", "_salt", "_registers")
 
     def __init__(self, precision: int = 9, salt: int = 0) -> None:
-        if not isinstance(precision, int) or isinstance(precision, bool):
-            raise TypeError("precision must be an int")
-        if not 2 <= precision <= 20:
-            raise ValueError(f"precision must be in [2, 20], got {precision}")
+        require_int(precision, "precision")
+        require_in_range(precision, "precision", 2, 20)
         require_type(salt, "salt", int)
         self._precision = precision
         self._m = 1 << precision

@@ -27,7 +27,7 @@ from typing import Hashable, Optional
 
 from repro.sketch.hashing import split_hash
 from repro.sketch.hll import estimate_from_registers
-from repro.utils.validation import require_type
+from repro.utils.validation import require_in_range, require_int, require_type
 
 __all__ = ["SlidingWindowHLL"]
 
@@ -54,10 +54,8 @@ class SlidingWindowHLL:
     __slots__ = ("_precision", "_m", "_salt", "_cells", "_last_time")
 
     def __init__(self, precision: int = 9, salt: int = 0) -> None:
-        if not isinstance(precision, int) or isinstance(precision, bool):
-            raise TypeError("precision must be an int")
-        if not 2 <= precision <= 20:
-            raise ValueError(f"precision must be in [2, 20], got {precision}")
+        require_int(precision, "precision")
+        require_in_range(precision, "precision", 2, 20)
         require_type(salt, "salt", int)
         self._precision = precision
         self._m = 1 << precision
@@ -94,8 +92,7 @@ class SlidingWindowHLL:
     # ------------------------------------------------------------------
     def add(self, item: Hashable, timestamp: int) -> None:
         """Feed one arrival; timestamps must be non-decreasing."""
-        if isinstance(timestamp, bool) or not isinstance(timestamp, int):
-            raise TypeError("timestamp must be an int")
+        require_int(timestamp, "timestamp")
         if self._last_time is not None and timestamp < self._last_time:
             raise ValueError(
                 f"stream must be fed in time order: got t={timestamp} "
@@ -121,8 +118,7 @@ class SlidingWindowHLL:
         window's register again.  Call periodically to bound memory when
         tracking an endless stream with a fixed maximum window length.
         """
-        if isinstance(before, bool) or not isinstance(before, int):
-            raise TypeError("before must be an int")
+        require_int(before, "before")
         for index, pairs in enumerate(self._cells):
             if not pairs:
                 continue

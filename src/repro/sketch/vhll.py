@@ -28,9 +28,15 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Hashable, Iterable, Optional
 
+from repro.lint.contracts import invariant, post_vhll_mutation
 from repro.sketch.hashing import split_hash
 from repro.sketch.hll import estimate_from_registers
-from repro.utils.validation import require_type
+from repro.utils.validation import (
+    require_in_range,
+    require_int,
+    require_non_negative,
+    require_type,
+)
 
 __all__ = ["VersionedHLL"]
 
@@ -60,10 +66,8 @@ class VersionedHLL:
     __slots__ = ("_precision", "_m", "_salt", "_cells")
 
     def __init__(self, precision: int = 9, salt: int = 0) -> None:
-        if not isinstance(precision, int) or isinstance(precision, bool):
-            raise TypeError("precision must be an int")
-        if not 2 <= precision <= 20:
-            raise ValueError(f"precision must be in [2, 20], got {precision}")
+        require_int(precision, "precision")
+        require_in_range(precision, "precision", 2, 20)
         require_type(salt, "salt", int)
         self._precision = precision
         self._m = 1 << precision
@@ -115,6 +119,7 @@ class VersionedHLL:
         cell, r = split_hash(item, self._precision, self._salt)
         self.add_pair(cell, r, timestamp)
 
+    @invariant(post_vhll_mutation)
     def add_pair(self, cell: int, r: int, timestamp: int) -> None:
         """Insert a raw ``(ρ=r, t=timestamp)`` pair into ``cell``.
 
@@ -149,6 +154,7 @@ class VersionedHLL:
             j += 1
         pairs[i:j] = [(timestamp, r)]
 
+    @invariant(post_vhll_mutation)
     def merge(self, other: "VersionedHLL") -> None:
         """In-place union with ``other`` (no time constraint).
 
@@ -162,6 +168,7 @@ class VersionedHLL:
             for t, r in pairs:
                 self.add_pair(cell_index, r, t)
 
+    @invariant(post_vhll_mutation)
     def merge_within(self, other: "VersionedHLL", start_time: int, window: int) -> None:
         """Merge ``other`` keeping only pairs with ``t − start_time < window``.
 
@@ -172,10 +179,8 @@ class VersionedHLL:
         """
         self._check_compatible(other)
         self._check_time(start_time)
-        if not isinstance(window, int) or isinstance(window, bool):
-            raise TypeError("window must be an int")
-        if window < 0:
-            raise ValueError(f"window must be >= 0, got {window}")
+        require_int(window, "window")
+        require_non_negative(window, "window")
         deadline = start_time + window  # exclusive: keep t < deadline
         for cell_index, pairs in enumerate(other._cells):
             if not pairs:
@@ -280,10 +285,7 @@ class VersionedHLL:
 
     @staticmethod
     def _check_time(timestamp: int) -> None:
-        if not isinstance(timestamp, int) or isinstance(timestamp, bool):
-            raise TypeError(
-                f"timestamp must be an int, got {type(timestamp).__name__}"
-            )
+        require_int(timestamp, "timestamp")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 __all__ = [
+    "require_int",
     "require_positive",
     "require_non_negative",
     "require_probability",
@@ -20,6 +21,17 @@ __all__ = [
     "require_type",
     "require_non_empty",
 ]
+
+
+def require_int(value: Any, name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an int (bools excluded).
+
+    Time stamps, windows and register counts are modelled as natural
+    numbers throughout the paper; ``bool`` is rejected explicitly because
+    it subclasses ``int`` and silently masquerades as 0/1.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
 
 
 def require_positive(value: Any, name: str) -> None:

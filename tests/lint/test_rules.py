@@ -1,0 +1,278 @@
+"""Per-rule positive/negative fixtures plus the whole-tree gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import LintEngine, all_rules, get_rule, lint_source
+from repro.lint.cli import main
+from repro.lint.rules import select_rules
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def ids_of(violations):
+    return sorted({violation.rule_id for violation in violations})
+
+
+def lint_with(rule_id, source, subpackage=None):
+    return lint_source(source, subpackage=subpackage, rules=[get_rule(rule_id)])
+
+
+# ----------------------------------------------------------------------
+# R001 — no wall clock / unseeded randomness
+# ----------------------------------------------------------------------
+
+
+R001_POSITIVE = """
+import random
+import time
+
+
+def simulate(cascades):
+    started = time.time()
+    coin = random.random()
+    generator = random.Random()
+    noise = np.random.rand(3)
+    return started, coin, generator, noise
+"""
+
+R001_NEGATIVE = """
+import time
+
+from repro.utils.rng import resolve_rng, spawn_rng
+
+
+def simulate(cascades, rng=None):
+    generator = resolve_rng(rng)
+    child = spawn_rng(generator, 1)
+    seeded = np.random.default_rng(42)
+    elapsed = time.perf_counter()
+    return generator.random(), child, seeded, elapsed
+"""
+
+
+def test_r001_flags_wall_clock_and_unseeded_randomness():
+    violations = lint_with("R001", R001_POSITIVE)
+    assert ids_of(violations) == ["R001"]
+    messages = " ".join(violation.message for violation in violations)
+    assert "time.time" in messages
+    assert len(violations) == 4  # time.time, random.random, random.Random, np.random.rand
+
+
+def test_r001_accepts_seeded_rng_helpers():
+    assert lint_with("R001", R001_NEGATIVE) == []
+
+
+def test_r001_is_scoped_to_algorithm_packages():
+    assert lint_with("R001", R001_POSITIVE, subpackage="core")
+    assert lint_with("R001", R001_POSITIVE, subpackage="analysis") == []
+    assert lint_with("R001", R001_POSITIVE, subpackage="utils") == []
+
+
+# ----------------------------------------------------------------------
+# R002 — algorithm parameters validated
+# ----------------------------------------------------------------------
+
+
+R002_POSITIVE = """
+class Index:
+    def __init__(self, window, precision=9):
+        self.window = window
+        self.precision = precision
+"""
+
+R002_NEGATIVE_VALIDATED = """
+from repro.utils.validation import require_in_range, require_int, require_non_negative
+
+
+class Index:
+    def __init__(self, window, precision=9):
+        require_int(window, "window")
+        require_non_negative(window, "window")
+        require_in_range(precision, "precision", 2, 20)
+        self.window = window
+        self.precision = precision
+"""
+
+R002_NEGATIVE_FORWARDED = """
+def build(log, window, precision=9):
+    return Index(window, precision=precision)
+"""
+
+
+def test_r002_flags_unvalidated_parameters():
+    violations = lint_with("R002", R002_POSITIVE)
+    assert len(violations) == 2
+    assert "window" in violations[0].message or "window" in violations[1].message
+
+
+def test_r002_accepts_validation_and_forwarding():
+    assert lint_with("R002", R002_NEGATIVE_VALIDATED) == []
+    assert lint_with("R002", R002_NEGATIVE_FORWARDED) == []
+
+
+def test_r002_ignores_private_helpers():
+    source = "def _helper(window):\n    return window + 1\n"
+    assert lint_with("R002", source) == []
+
+
+# ----------------------------------------------------------------------
+# R003 — sorted sequences stay immutable
+# ----------------------------------------------------------------------
+
+
+R003_POSITIVE = """
+def build(raw):
+    ordered = sorted(raw)
+    ordered.append(raw[0])
+    return ordered
+
+
+def ingest(path):
+    log = load_interactions(path)
+    log.sort()
+    return log
+"""
+
+R003_NEGATIVE = """
+def build(raw):
+    ordered = sorted(raw)
+    copy = list(ordered)
+    copy.append(raw[0])
+    return copy
+
+
+def rebind(raw):
+    ordered = sorted(raw)
+    ordered = [x for x in ordered if x]
+    ordered.append(0)
+    return ordered
+"""
+
+
+def test_r003_flags_mutation_of_sorted_and_loaded_sequences():
+    violations = lint_with("R003", R003_POSITIVE)
+    assert len(violations) == 2
+    assert "ordered.append" in violations[0].message
+    assert "log.sort" in violations[1].message
+
+
+def test_r003_allows_copies_and_rebinding():
+    assert lint_with("R003", R003_NEGATIVE) == []
+
+
+def test_r003_flags_augmented_assignment():
+    source = "def f(raw):\n    log = sorted(raw)\n    log += [1]\n    return log\n"
+    violations = lint_with("R003", source)
+    assert len(violations) == 1 and "augmented" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# R004 — public API fully annotated
+# ----------------------------------------------------------------------
+
+
+R004_POSITIVE = """
+class Sketch:
+    def __init__(self, precision):
+        self.precision = precision
+
+    def add(self, item, timestamp: int):
+        pass
+"""
+
+R004_NEGATIVE = """
+class Sketch:
+    def __init__(self, precision: int) -> None:
+        self.precision = precision
+
+    def add(self, item: object, timestamp: int) -> None:
+        pass
+
+    def _internal(self, anything):
+        pass
+"""
+
+
+def test_r004_flags_missing_annotations():
+    violations = lint_with("R004", R004_POSITIVE)
+    assert len(violations) == 2
+    assert "precision" in violations[0].message and "return" in violations[0].message
+    assert "item" in violations[1].message
+
+
+def test_r004_accepts_annotated_public_api_and_ignores_private():
+    assert lint_with("R004", R004_NEGATIVE) == []
+
+
+def test_r004_is_scoped_to_core_and_sketch():
+    assert lint_with("R004", R004_POSITIVE, subpackage="sketch")
+    assert lint_with("R004", R004_POSITIVE, subpackage="simulation") == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+def test_file_level_suppression_silences_the_whole_file():
+    source = "# repro-lint: disable=R003\n" + R003_POSITIVE
+    assert lint_with("R003", source) == []
+
+
+def test_line_level_suppression_silences_one_line_only():
+    source = R003_POSITIVE.replace(
+        "ordered.append(raw[0])", "ordered.append(raw[0])  # repro-lint: disable=R003"
+    )
+    violations = lint_with("R003", source)
+    assert len(violations) == 1 and "log.sort" in violations[0].message
+
+
+def test_disable_all_suppresses_every_rule():
+    source = "# repro-lint: disable=all\n" + R001_POSITIVE + R003_POSITIVE
+    assert lint_source(source) == []
+
+
+# ----------------------------------------------------------------------
+# Whole-tree gate and CLI
+# ----------------------------------------------------------------------
+
+
+def test_full_repro_tree_is_lint_clean():
+    violations, files_checked = LintEngine().lint_paths([SRC_ROOT])
+    assert violations == []
+    assert files_checked >= 40  # every module of the package was visited
+
+
+def test_rule_registry_is_complete():
+    assert [rule.rule_id for rule in all_rules()] == ["R001", "R002", "R003", "R004"]
+    with pytest.raises(KeyError, match="unknown rule"):
+        get_rule("R999")
+    assert [rule.rule_id for rule in select_rules(["R003", "R001"])] == ["R001", "R003"]
+
+
+def test_cli_reports_violations_and_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(R003_POSITIVE, encoding="utf-8")
+
+    assert main([str(bad), "--select", "R003"]) == 1
+    out = capsys.readouterr().out
+    assert "R003" in out and "bad.py" in out and "2 violations" in out
+
+    assert main([str(bad), "--select", "R001"]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+    assert main([str(bad), "--select", "R003", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 2
+    assert payload["violations"][0]["rule"] == "R003"
+
+    assert main([str(tmp_path / "missing.py")]) == 2
+    assert main(["--select", "R999", str(bad)]) == 2
+    assert main(["--list-rules"]) == 0
+    assert "R001" in capsys.readouterr().out
