@@ -41,7 +41,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from repro.baselines.static import StaticGraph, transmission_weighted_graph
 from repro.core.interactions import InteractionLog
 from repro.utils.rng import RngLike, resolve_rng, spawn_rng
-from repro.utils.validation import require_positive, require_type
+from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = ["ContinEstEstimator", "continest_top_k"]
 
@@ -188,8 +188,7 @@ class ContinEstEstimator:
 
     def select(self, k: int) -> List[Node]:
         """Greedy seed selection with lazy (CELF-style) re-evaluation."""
-        if isinstance(k, bool) or not isinstance(k, int):
-            raise TypeError("k must be an int")
+        require_int(k, "k")
         require_positive(k, "k")
         base = self.marginal_table()
         heap = [(-value, repr(node), node, -1) for node, value in base.items()]

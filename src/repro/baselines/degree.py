@@ -25,7 +25,12 @@ from typing import Hashable, List, Set
 
 from repro.baselines.static import flatten
 from repro.core.interactions import InteractionLog
-from repro.utils.validation import require_positive, require_type
+from repro.utils.validation import (
+    require_int,
+    require_positive,
+    require_probability,
+    require_type,
+)
 
 __all__ = [
     "high_degree_top_k",
@@ -38,8 +43,7 @@ Node = Hashable
 
 def _validate(log: InteractionLog, k: int) -> None:
     require_type(log, "log", InteractionLog)
-    if isinstance(k, bool) or not isinstance(k, int):
-        raise TypeError("k must be an int")
+    require_int(k, "k")
     require_positive(k, "k")
 
 
@@ -65,10 +69,7 @@ def degree_discount_top_k(
     seeding ``v`` partially redundant.
     """
     _validate(log, k)
-    if not isinstance(probability, (int, float)) or isinstance(probability, bool):
-        raise TypeError("probability must be a number")
-    if not 0.0 <= probability <= 1.0:
-        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    require_probability(probability, "probability")
     graph = flatten(log)
     degree = {node: graph.out_degree(node) for node in graph.nodes}
     seeded_neighbours = {node: 0 for node in graph.nodes}

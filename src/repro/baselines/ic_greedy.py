@@ -22,7 +22,12 @@ from typing import Hashable, Iterable, List, Optional, Set
 from repro.baselines.static import StaticGraph, flatten
 from repro.core.interactions import InteractionLog
 from repro.utils.rng import RngLike, resolve_rng, spawn_rng
-from repro.utils.validation import require_positive, require_probability, require_type
+from repro.utils.validation import (
+    require_int,
+    require_positive,
+    require_probability,
+    require_type,
+)
 
 __all__ = ["simulate_ic", "estimate_ic_spread", "ic_greedy_top_k"]
 
@@ -99,8 +104,7 @@ def ic_greedy_top_k(
     worst case, *the* motivation for sketch-based alternatives.
     """
     require_type(log, "log", InteractionLog)
-    if isinstance(k, bool) or not isinstance(k, int):
-        raise TypeError("k must be an int")
+    require_int(k, "k")
     require_positive(k, "k")
     require_probability(probability, "probability")
     generator = resolve_rng(rng)

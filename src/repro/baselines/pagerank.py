@@ -17,7 +17,12 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.baselines.static import StaticGraph, flatten
 from repro.core.interactions import InteractionLog
-from repro.utils.validation import require_positive, require_probability, require_type
+from repro.utils.validation import (
+    require_int,
+    require_positive,
+    require_probability,
+    require_type,
+)
 
 __all__ = ["pagerank", "pagerank_top_k"]
 
@@ -91,8 +96,7 @@ def pagerank_top_k(
 ) -> List[Node]:
     """The paper's PR baseline: top-``k`` by PageRank on the reversed graph."""
     require_type(log, "log", InteractionLog)
-    if isinstance(k, bool) or not isinstance(k, int):
-        raise TypeError("k must be an int")
+    require_int(k, "k")
     require_positive(k, "k")
     reversed_graph = flatten(log).reversed()
     scores = pagerank(reversed_graph, restart=restart, tolerance=tolerance)

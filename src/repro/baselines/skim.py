@@ -37,7 +37,7 @@ from typing import Dict, Hashable, List, Optional, Set
 from repro.baselines.static import StaticGraph, flatten
 from repro.core.interactions import InteractionLog
 from repro.utils.rng import RngLike, resolve_rng
-from repro.utils.validation import require_positive, require_type
+from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = ["skim_top_k", "SkimSelector"]
 
@@ -210,8 +210,7 @@ class SkimSelector:
         the not-yet-selected nodes of largest out-degree so that callers
         always get ``k`` seeds to compare against other methods.
         """
-        if isinstance(k, bool) or not isinstance(k, int):
-            raise TypeError("k must be an int")
+        require_int(k, "k")
         require_positive(k, "k")
         while len(self._selected) < k:
             if self.next_seed() is None:

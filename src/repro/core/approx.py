@@ -222,7 +222,7 @@ class ApproxIRS:
         O(|seeds|·β) regardless of network size.
         """
         combined = [0] * self._num_cells
-        for seed in seeds:
+        for seed in seeds:  # repro-lint: budget=O(|seeds|·β)
             sketch = self._sketches.get(seed)
             if sketch is None:
                 continue

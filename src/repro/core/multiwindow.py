@@ -222,7 +222,7 @@ class MultiWindowIRS:
     def max_frontier_length(self) -> int:
         """Longest per-pair frontier."""
         longest = 0
-        for frontier in self._frontiers.values():
+        for frontier in self._frontiers.values():  # repro-lint: budget=O(n²·F)
             for entries in frontier.values():
                 if len(entries) > longest:
                     longest = len(entries)

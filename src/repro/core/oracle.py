@@ -215,7 +215,7 @@ class ApproxInfluenceOracle(InfluenceOracle):
 
     def spread(self, seeds: Iterable[Node]) -> float:
         combined = [0] * self._m
-        for seed in seeds:
+        for seed in seeds:  # repro-lint: budget=O(|seeds|·β)
             array = self._registers.get(seed)
             if array is None:
                 continue

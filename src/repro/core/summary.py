@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, ItemsView, Iterator, KeysView, Optional
 
 from repro.lint.contracts import invariant, post_summary_add, post_summary_merge
-from repro.utils.validation import require_int, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["IRSSummary"]
 
@@ -52,6 +52,7 @@ class IRSSummary:
 
         This is the paper's ``Add(ϕ(u), (v, t))``.
         """
+        require_int(end_time, "end_time")
         current = self._entries.get(node)
         if current is None or end_time < current:
             self._entries[node] = end_time
@@ -74,6 +75,7 @@ class IRSSummary:
         """
         require_int(start_time, "start_time")
         require_int(window, "window")
+        require_non_negative(window, "window")
         deadline = start_time + window  # keep t_x < deadline
         entries = self._entries
         for node, end_time in other._entries.items():
@@ -131,7 +133,7 @@ class IRSSummary:
     def union(cls, *summaries: "IRSSummary") -> "IRSSummary":
         """Pointwise-minimum union of several summaries."""
         result = cls()
-        for summary in summaries:
+        for summary in summaries:  # repro-lint: budget=O(Σ|ϕ|)
             require_type(summary, "summary", IRSSummary)
             for node, end_time in summary._entries.items():
                 result.add(node, end_time)

@@ -24,14 +24,25 @@ from repro.lint.contracts import (
     contracts_enabled,
     invariant,
 )
-from repro.lint.engine import LintEngine, Violation, lint_paths, lint_source
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    LintEngine,
+    Violation,
+    lint_paths,
+    lint_project_sources,
+    lint_source,
+)
+from repro.lint.project import ProjectIndex
 from repro.lint.reporting import render_json, render_text
 from repro.lint.rules import Rule, all_rules, get_rule
+from repro.lint.sarif import render_sarif
 
 __all__ = [
+    "Baseline",
     "CONTRACTS_ENV",
     "ContractViolation",
     "LintEngine",
+    "ProjectIndex",
     "Rule",
     "Violation",
     "all_rules",
@@ -39,7 +50,9 @@ __all__ = [
     "get_rule",
     "invariant",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,122 @@
+"""Baseline ratchet: fail only on *new* violations.
+
+A committed ``lint-baseline.json`` records the violations a tree is
+known (and excused) to contain.  ``--baseline FILE`` subtracts them from
+a run — CI then fails only when a change *adds* a violation, while the
+recorded debt can be burned down independently.  ``--update-baseline``
+rewrites the file from the current run, which is also how entries are
+retired: re-running after a fix shrinks the baseline (the ratchet only
+ever turns one way if updates accompany fixes).
+
+Entries are keyed by ``(path, rule, message)`` with an occurrence count
+rather than by line number, so unrelated edits that shift code around do
+not invalidate the baseline, while a *second* identical violation in the
+same file is still reported as new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Baseline", "BaselineError", "normalize_path"]
+
+_FORMAT_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files (a usage error, exit code 2)."""
+
+
+def normalize_path(raw: str) -> str:
+    """Repo-relative POSIX form of a violation path, for stable keys."""
+    path = Path(raw)
+    if path.is_absolute():
+        try:
+            path = path.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return str(PurePosixPath(*path.parts))
+
+
+@dataclass
+class Baseline:
+    """An accepted-violation multiset keyed by ``(path, rule, message)``."""
+
+    entries: Dict[Key, int]
+
+    @classmethod
+    def from_violations(cls, violations: Sequence) -> "Baseline":
+        entries: Dict[Key, int] = {}
+        for violation in violations:
+            key = _key(violation)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "violations" not in payload:
+            raise BaselineError(
+                f"malformed baseline {path}: expected an object with a "
+                "'violations' list"
+            )
+        entries: Dict[Key, int] = {}
+        for record in payload["violations"]:
+            try:
+                key = (record["path"], record["rule"], record["message"])
+                count = int(record.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"malformed baseline {path}: each entry needs "
+                    "path/rule/message fields"
+                ) from exc
+            if count < 1:
+                raise BaselineError(
+                    f"malformed baseline {path}: counts must be positive"
+                )
+            entries[key] = entries.get(key, 0) + count
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        records: List[dict] = [
+            {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+            for key, count in sorted(self.entries.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "violations": records}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, violations: Iterable) -> Tuple[list, int, list]:
+        """Split a run into ``(new, suppressed_count, stale_entries)``.
+
+        Up to ``count`` occurrences of each baselined key are suppressed
+        (the earliest by line, so a newly added duplicate — later in the
+        file — is the one reported).  ``stale_entries`` lists baseline
+        keys whose recorded count exceeds what the run produced: fixed
+        debt whose entries should be retired with ``--update-baseline``.
+        """
+        budget = dict(self.entries)
+        new: list = []
+        suppressed = 0
+        for violation in sorted(violations, key=lambda v: (v.path, v.line, v.col)):
+            key = _key(violation)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                new.append(violation)
+        stale = [key for key, remaining in sorted(budget.items()) if remaining > 0]
+        return new, suppressed, stale
+
+
+def _key(violation) -> Key:
+    return (normalize_path(violation.path), violation.rule_id, violation.message)

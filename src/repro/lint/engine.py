@@ -6,6 +6,16 @@ The engine is deliberately small: it parses each file once with
 attribute), collects violations from every selected rule, and filters
 them through the suppression comments.
 
+Two rule kinds are dispatched:
+
+* **file rules** (``project_scope = False``) see one
+  :class:`FileContext` at a time and may run in parallel workers
+  (``jobs > 1``);
+* **project rules** (``project_scope = True``, R101/R104/R105) run once
+  per invocation over a :class:`~repro.lint.project.ProjectIndex` built
+  from every parsed file, after the per-file wave.  Their violations
+  still honour the suppression comments of the file they anchor to.
+
 Suppression syntax
 ------------------
 ``# repro-lint: disable=R001`` (comma-separated rule ids, or ``all``):
@@ -17,19 +27,34 @@ Suppression syntax
 from __future__ import annotations
 
 import ast
+import os
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
+from repro.lint import rules_project  # noqa: F401 — registers R101–R105
+from repro.lint.project import ProjectIndex, collect_reference_identifiers
 from repro.lint.rules import Rule, all_rules
 
-__all__ = ["Violation", "FileContext", "LintEngine", "lint_paths", "lint_source"]
+__all__ = [
+    "Violation",
+    "FileContext",
+    "LintEngine",
+    "lint_paths",
+    "lint_source",
+    "lint_project_sources",
+]
 
 #: Sub-packages of ``repro`` that rule scopes refer to.
 KNOWN_SUBPACKAGES = frozenset(
     {"core", "sketch", "simulation", "baselines", "datasets", "analysis", "utils", "lint"}
 )
+
+#: Directories next to ``src`` whose identifiers count as external
+#: references for liveness rules (R104).
+REFERENCE_ROOT_NAMES = ("tests", "benchmarks", "examples")
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
 
@@ -119,21 +144,69 @@ def _infer_subpackage(path: Path) -> Optional[str]:
     return None
 
 
-class LintEngine:
-    """Run a set of rules over files or in-memory source."""
+def _lint_file_worker(task: tuple) -> tuple:
+    """Parallel-worker entry: lint one file with the named file rules.
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+    Returns a picklable ``("ok", violations)`` /
+    ``("syntax-error", path, message)`` pair — ``SyntaxError`` loses its
+    ``filename`` attribute across process boundaries, so it is re-raised
+    with full context in the parent instead.
+    """
+    from repro.lint.rules import get_rule
+
+    path_str, rule_ids = task
+    engine = LintEngine([get_rule(rule_id) for rule_id in rule_ids])
+    try:
+        return ("ok", engine.lint_file(Path(path_str)))
+    except SyntaxError as exc:
+        return ("syntax-error", path_str, str(exc))
+
+
+class LintEngine:
+    """Run a set of rules over files or in-memory source.
+
+    Parameters
+    ----------
+    rules:
+        The rules to dispatch (default: the full registry).
+    jobs:
+        Worker processes for the per-file wave; ``1`` (default) stays
+        in-process, ``0`` means one per CPU.  Project rules always run
+        serially in the parent — they need the whole index.
+    reference_roots:
+        Directories whose identifiers count as external references for
+        liveness rules.  ``None`` (default) auto-detects ``tests``/
+        ``benchmarks``/``examples`` next to the linted tree's ``src``;
+        pass an explicit (possibly empty) sequence to override.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        jobs: int = 1,
+        reference_roots: Optional[Sequence] = None,
+    ) -> None:
         self._rules: tuple = tuple(rules) if rules is not None else tuple(all_rules())
+        self._jobs = int(jobs)
+        self._reference_roots = reference_roots
 
     @property
     def rules(self) -> tuple:
         """The rules this engine dispatches to."""
         return self._rules
 
+    @property
+    def file_rules(self) -> tuple:
+        return tuple(rule for rule in self._rules if not rule.project_scope)
+
+    @property
+    def project_rules(self) -> tuple:
+        return tuple(rule for rule in self._rules if rule.project_scope)
+
     def lint_context(self, ctx: FileContext) -> list:
-        """All unsuppressed violations for one parsed file."""
+        """All unsuppressed file-rule violations for one parsed file."""
         violations: list = []
-        for rule in self._rules:
+        for rule in self.file_rules:
             if ctx.subpackage is not None and rule.scopes is not None:
                 if ctx.subpackage not in rule.scopes:
                     continue
@@ -144,29 +217,99 @@ class LintEngine:
         )
 
     def lint_file(self, path: Path) -> list:
-        """Lint one file on disk; raises ``SyntaxError`` on unparsable input."""
+        """Run the file rules on one file; raises ``SyntaxError`` on
+        unparsable input.  Project rules need :meth:`lint_paths`."""
+        return self.lint_context(self._parse_file(path))
+
+    @staticmethod
+    def _parse_file(path: Path) -> FileContext:
         source = path.read_text(encoding="utf-8")
-        ctx = FileContext.from_source(
+        return FileContext.from_source(
             source, path=str(path), subpackage=_infer_subpackage(path)
         )
-        return self.lint_context(ctx)
 
     def lint_paths(self, paths: Iterable) -> tuple:
         """Lint files and directory trees; returns ``(violations, files_checked)``."""
-        violations: list = []
-        checked = 0
+        targets: List[Path] = []
         for raw in paths:
             path = Path(raw)
             if path.is_dir():
-                targets = sorted(path.rglob("*.py"))
+                targets.extend(sorted(path.rglob("*.py")))
             elif path.exists():
-                targets = [path]
+                targets.append(path)
             else:
                 raise FileNotFoundError(f"no such file or directory: {path}")
+
+        violations: list = []
+        contexts: Dict[str, FileContext] = {}
+        jobs = self._effective_jobs(len(targets))
+        if jobs > 1 and self.file_rules:
+            violations.extend(self._lint_files_parallel(targets, jobs))
+            if self.project_rules:
+                for target in targets:
+                    ctx = self._parse_file(target)
+                    contexts[ctx.path] = ctx
+        else:
             for target in targets:
-                violations.extend(self.lint_file(target))
-                checked += 1
-        return violations, checked
+                ctx = self._parse_file(target)
+                contexts[ctx.path] = ctx
+                violations.extend(self.lint_context(ctx))
+
+        if self.project_rules and contexts:
+            violations.extend(self._run_project_rules(contexts, targets))
+        return violations, len(targets)
+
+    def _effective_jobs(self, target_count: int) -> int:
+        jobs = self._jobs if self._jobs > 0 else (os.cpu_count() or 1)
+        return max(1, min(jobs, target_count))
+
+    def _lint_files_parallel(self, targets: Sequence[Path], jobs: int) -> list:
+        rule_ids = [rule.rule_id for rule in self.file_rules]
+        tasks = [(str(target), rule_ids) for target in targets]
+        violations: list = []
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_lint_file_worker, tasks))
+        except (OSError, ImportError):  # pragma: no cover - platform dependent
+            # No usable worker pool (restricted sandbox, missing start
+            # method): degrade to in-process linting rather than failing.
+            return [v for target in targets for v in self.lint_file(target)]
+        for outcome in outcomes:
+            if outcome[0] == "syntax-error":
+                _, path_str, message = outcome
+                error = SyntaxError(message)
+                error.filename = path_str
+                raise error
+            violations.extend(outcome[1])
+        return violations
+
+    def _run_project_rules(
+        self, contexts: Mapping[str, FileContext], targets: Sequence[Path]
+    ) -> list:
+        external = collect_reference_identifiers(self._resolve_reference_roots(targets))
+        index = ProjectIndex.from_contexts(contexts.values(), external)
+        violations: list = []
+        for rule in self.project_rules:
+            for violation in rule.check_project(index):
+                ctx = contexts.get(violation.path)
+                if ctx is not None and ctx.is_suppressed(violation):
+                    continue
+                violations.append(violation)
+        return violations
+
+    def _resolve_reference_roots(self, targets: Sequence[Path]) -> List[Path]:
+        if self._reference_roots is not None:
+            return [Path(root) for root in self._reference_roots]
+        roots: Set[Path] = set()
+        for target in targets:
+            for ancestor in target.resolve().parents:
+                if ancestor.name == "src":
+                    for name in REFERENCE_ROOT_NAMES:
+                        candidate = ancestor.parent / name
+                        if candidate.is_dir():
+                            roots.add(candidate)
+                    break
+        return sorted(roots)
 
 
 def lint_source(
@@ -179,10 +322,43 @@ def lint_source(
 
     ``subpackage=None`` applies every selected rule unconditionally;
     pass e.g. ``subpackage="analysis"`` to exercise scope filtering.
+    Project rules are exercised through :func:`lint_project_sources`.
     """
     engine = LintEngine(rules)
     ctx = FileContext.from_source(source, path=path, subpackage=subpackage)
     return engine.lint_context(ctx)
+
+
+def lint_project_sources(
+    sources: Mapping[str, str],
+    rules: Optional[Sequence[Rule]] = None,
+    external_identifiers: Iterable[str] = (),
+) -> list:
+    """Lint an in-memory multi-file project — the project-rule test entry.
+
+    ``sources`` maps relative paths (``"pkg/a.py"``; a ``src/repro/...``
+    prefix opts into sub-package scoping) to source text.  File rules run
+    per module, then project rules over the combined index;
+    ``external_identifiers`` plays the role of tests/benchmarks
+    references for R104.
+    """
+    engine = LintEngine(rules)
+    contexts: Dict[str, FileContext] = {}
+    violations: list = []
+    for path, source in sources.items():
+        ctx = FileContext.from_source(
+            source, path=path, subpackage=_infer_subpackage(Path(path))
+        )
+        contexts[path] = ctx
+        violations.extend(engine.lint_context(ctx))
+    index = ProjectIndex.from_contexts(contexts.values(), set(external_identifiers))
+    for rule in engine.project_rules:
+        for violation in rule.check_project(index):
+            ctx = contexts.get(violation.path)
+            if ctx is not None and ctx.is_suppressed(violation):
+                continue
+            violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule_id))
 
 
 def lint_paths(paths: Iterable, rules: Optional[Sequence[Rule]] = None) -> tuple:

@@ -57,6 +57,10 @@ class Rule:
     name: str = "abstract-rule"
     description: str = ""
     scopes: Optional[frozenset] = None
+    #: Project-scope rules run once per lint invocation over the whole
+    #: :class:`~repro.lint.project.ProjectIndex` instead of per file; the
+    #: engine dispatches them through ``check_project(index)``.
+    project_scope: bool = False
 
     def check(self, ctx) -> list:
         """Return the rule's violations for one :class:`FileContext`."""

@@ -40,6 +40,7 @@ from typing import Dict, Hashable, Iterable, Set
 from repro.core.interactions import InteractionLog
 from repro.utils.rng import RngLike, resolve_rng
 from repro.utils.validation import (
+    require_int,
     require_non_negative,
     require_probability,
     require_type,
@@ -100,8 +101,7 @@ def run_tcic(
         module docstring.
     """
     require_type(log, "log", InteractionLog)
-    if isinstance(window, bool) or not isinstance(window, int):
-        raise TypeError("window must be an int")
+    require_int(window, "window")
     require_non_negative(window, "window")
     require_probability(probability, "probability")
     generator = resolve_rng(rng)

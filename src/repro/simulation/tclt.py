@@ -31,7 +31,7 @@ from typing import Dict, Hashable, Iterable, Set, Tuple
 
 from repro.core.interactions import InteractionLog
 from repro.utils.rng import RngLike, resolve_rng
-from repro.utils.validation import require_non_negative, require_type
+from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["TCLTResult", "run_tclt", "estimate_tclt_spread"]
 
@@ -67,8 +67,7 @@ def run_tclt(
     per-interaction coin replaced by threshold accumulation.
     """
     require_type(log, "log", InteractionLog)
-    if isinstance(window, bool) or not isinstance(window, int):
-        raise TypeError("window must be an int")
+    require_int(window, "window")
     require_non_negative(window, "window")
     generator = resolve_rng(rng)
     seed_set = set(seeds)

@@ -33,7 +33,12 @@ from bisect import bisect_left, insort
 from typing import Dict, Hashable, Iterable, Optional
 
 from repro.sketch.hashing import MASK64, hash64
-from repro.utils.validation import require_int, require_positive, require_type
+from repro.utils.validation import (
+    require_at_least,
+    require_int,
+    require_non_negative,
+    require_type,
+)
 
 __all__ = ["BottomK", "VersionedBottomK"]
 
@@ -58,8 +63,8 @@ class BottomK:
 
     def __init__(self, k: int = 64, salt: int = 0) -> None:
         require_int(k, "k")
-        if k < 3:
-            raise ValueError(f"k must be >= 3 for the (k-1)/h_k estimator, got {k}")
+        # k >= 3 keeps the (k-1)/h_k estimator's variance bound meaningful.
+        require_at_least(k, "k", 3)
         require_type(salt, "salt", int)
         self._k = k
         self._salt = salt
@@ -146,8 +151,7 @@ class VersionedBottomK:
 
     def __init__(self, k: int = 64, salt: int = 0) -> None:
         require_int(k, "k")
-        if k < 3:
-            raise ValueError(f"k must be >= 3, got {k}")
+        require_at_least(k, "k", 3)
         require_type(salt, "salt", int)
         self._k = k
         self._salt = salt
@@ -184,9 +188,9 @@ class VersionedBottomK:
         require_type(other, "other", VersionedBottomK)
         if (self._k, self._salt) != (other._k, other._salt):
             raise ValueError("cannot merge sketches with different (k, salt)")
+        require_int(start_time, "start_time")
         require_int(window, "window")
-        if window < 0:
-            raise ValueError(f"window must be >= 0, got {window}")
+        require_non_negative(window, "window")
         deadline = start_time + window
         for value, timestamp in other._entries.items():
             if timestamp < deadline:

@@ -128,6 +128,11 @@ class VersionedHLL:
         removed and the new pair is spliced in, preserving the sorted
         Pareto-frontier invariant.
         """
+        self._check_time(timestamp)
+        self._insert_pair(cell, r, timestamp)
+
+    def _insert_pair(self, cell: int, r: int, timestamp: int) -> None:
+        """:meth:`add_pair` without argument validation, for trusted loops."""
         if not 0 <= cell < self._m:
             raise ValueError(f"cell must be in [0, {self._m}), got {cell}")
         pairs = self._cells[cell]
@@ -162,11 +167,11 @@ class VersionedHLL:
         several seed nodes (paper §4.1).
         """
         self._check_compatible(other)
-        for cell_index, pairs in enumerate(other._cells):
+        for cell_index, pairs in enumerate(other._cells):  # repro-lint: budget=O(m·F)
             if not pairs:
                 continue
             for t, r in pairs:
-                self.add_pair(cell_index, r, t)
+                self._insert_pair(cell_index, r, t)
 
     @invariant(post_vhll_mutation)
     def merge_within(self, other: "VersionedHLL", start_time: int, window: int) -> None:
@@ -182,13 +187,13 @@ class VersionedHLL:
         require_int(window, "window")
         require_non_negative(window, "window")
         deadline = start_time + window  # exclusive: keep t < deadline
-        for cell_index, pairs in enumerate(other._cells):
+        for cell_index, pairs in enumerate(other._cells):  # repro-lint: budget=O(m·F)
             if not pairs:
                 continue
             for t, r in pairs:
                 if t >= deadline:
                     break  # pairs are time-sorted; the rest are too late
-                self.add_pair(cell_index, r, t)
+                self._insert_pair(cell_index, r, t)
 
     # ------------------------------------------------------------------
     # Queries
@@ -260,7 +265,7 @@ class VersionedHLL:
         cells = payload["cells"]
         if len(cells) != sketch._m:
             raise ValueError(f"cell array has length {len(cells)}, expected {sketch._m}")
-        for index, raw_pairs in enumerate(cells):
+        for index, raw_pairs in enumerate(cells):  # repro-lint: budget=O(m·F)
             previous_t: Optional[int] = None
             previous_r: Optional[int] = None
             for t, r in raw_pairs:

@@ -15,6 +15,7 @@ __all__ = [
     "require_int",
     "require_positive",
     "require_non_negative",
+    "require_at_least",
     "require_probability",
     "require_power_of_two",
     "require_in_range",
@@ -48,6 +49,19 @@ def require_non_negative(value: Any, name: str) -> None:
         raise TypeError(f"{name} must be a number, got {type(value).__name__}")
     if value < 0:
         raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_at_least(value: Any, name: str, minimum: float) -> None:
+    """Raise :class:`ValueError` unless ``value >= minimum``.
+
+    The one-sided counterpart of :func:`require_in_range`, for parameters
+    with a hard floor but no ceiling (e.g. bottom-k sketch sizes, where
+    ``k >= 3`` keeps the estimator's variance bound meaningful).
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
 
 
 def require_probability(value: Any, name: str) -> None:

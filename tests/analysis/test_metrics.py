@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.metrics import (
+    SummaryStats,
     average_relative_error,
     format_table,
     jaccard,
@@ -70,6 +71,7 @@ class TestJaccard:
 class TestSummarize:
     def test_basic_stats(self):
         stats = summarize([1.0, 2.0, 3.0])
+        assert isinstance(stats, SummaryStats)
         assert stats.count == 3
         assert stats.mean == 2.0
         assert stats.minimum == 1.0

@@ -18,6 +18,13 @@ class TestAdd:
         phi.add("b", 9)
         assert phi.earliest_end("b") == 5
 
+    def test_add_rejects_non_int_end_time(self):
+        phi = IRSSummary()
+        with pytest.raises(TypeError):
+            phi.add("b", 5.0)
+        with pytest.raises(TypeError):
+            phi.add("b", True)
+
     def test_unknown_node_is_none(self):
         assert IRSSummary().earliest_end("x") is None
 
@@ -37,6 +44,10 @@ class TestMergeWithin:
         # Duration 7 - 5 + 1 = 3 == window: allowed.
         phi_a.merge_within(phi_b, start_time=5, window=3)
         assert "c" in phi_a
+
+    def test_merge_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            IRSSummary().merge_within(IRSSummary({"c": 7}), start_time=5, window=-1)
 
     def test_merge_updates_to_earlier_end(self):
         phi_a = IRSSummary({"c": 8})

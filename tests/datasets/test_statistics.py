@@ -8,7 +8,7 @@ from repro.datasets.generators import (
     email_network,
     uniform_network,
 )
-from repro.datasets.statistics import burstiness, describe, gini
+from repro.datasets.statistics import LogStatistics, burstiness, describe, gini
 
 
 class TestGini:
@@ -51,6 +51,7 @@ class TestDescribe:
             [("a", "b", 1), ("a", "b", 5), ("b", "a", 7), ("c", "a", 9)]
         )
         stats = describe(log)
+        assert isinstance(stats, LogStatistics)
         assert stats.num_nodes == 3
         assert stats.num_interactions == 4
         assert stats.distinct_edges == 3

@@ -10,7 +10,13 @@ import pytest
 import repro
 from repro.lint import LintEngine, all_rules, get_rule, lint_source
 from repro.lint.cli import main
-from repro.lint.rules import select_rules
+from repro.lint.rules import (
+    NoMutationAfterSort,
+    NoWallClockOrUnseededRandom,
+    PublicApiFullyAnnotated,
+    ValidateAlgorithmParameters,
+    select_rules,
+)
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
@@ -249,8 +255,49 @@ def test_full_repro_tree_is_lint_clean():
     assert files_checked >= 40  # every module of the package was visited
 
 
+def test_parallel_jobs_match_serial_run():
+    serial = LintEngine(jobs=1).lint_paths([SRC_ROOT])
+    parallel = LintEngine(jobs=2).lint_paths([SRC_ROOT])
+    assert serial == parallel
+
+
+def test_r101_catches_a_deleted_core_validation_call(tmp_path):
+    """Removing one validator from a public core entry point must fail R101."""
+    import shutil
+
+    mirror = tmp_path / "src" / "repro"
+    shutil.copytree(SRC_ROOT, mirror)
+    summary = mirror / "core" / "summary.py"
+    patched = summary.read_text(encoding="utf-8").replace(
+        '        require_int(end_time, "end_time")\n', ""
+    )
+    assert patched != summary.read_text(encoding="utf-8")
+    summary.write_text(patched, encoding="utf-8")
+
+    engine = LintEngine([get_rule("R101")], reference_roots=[])
+    violations, _ = engine.lint_paths([mirror])
+    assert any(
+        v.rule_id == "R101" and "'end_time'" in v.message and "summary.py" in v.path
+        for v in violations
+    )
+
+
 def test_rule_registry_is_complete():
-    assert [rule.rule_id for rule in all_rules()] == ["R001", "R002", "R003", "R004"]
+    assert [rule.rule_id for rule in all_rules()] == [
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R101",
+        "R102",
+        "R103",
+        "R104",
+        "R105",
+    ]
+    assert isinstance(get_rule("R001"), NoWallClockOrUnseededRandom)
+    assert isinstance(get_rule("R002"), ValidateAlgorithmParameters)
+    assert isinstance(get_rule("R003"), NoMutationAfterSort)
+    assert isinstance(get_rule("R004"), PublicApiFullyAnnotated)
     with pytest.raises(KeyError, match="unknown rule"):
         get_rule("R999")
     assert [rule.rule_id for rule in select_rules(["R003", "R001"])] == ["R001", "R003"]

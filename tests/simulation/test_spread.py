@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.interactions import InteractionLog
-from repro.simulation.spread import estimate_spread, spread_curve
+from repro.simulation.spread import SpreadEstimate, estimate_spread, spread_curve
 from repro.simulation.tcic import run_tcic
 
 
@@ -15,6 +15,7 @@ def chain_log():
 class TestEstimateSpread:
     def test_deterministic_at_p1_single_run(self, chain_log):
         estimate = estimate_spread(chain_log, ["a"], 10, 1.0, runs=50)
+        assert isinstance(estimate, SpreadEstimate)
         assert estimate.runs == 1  # p = 1 needs no repetition
         assert estimate.mean == 4.0
         assert estimate.std == 0.0

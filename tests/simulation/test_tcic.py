@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.interactions import InteractionLog
-from repro.simulation.tcic import run_tcic
+from repro.simulation.tcic import TCICResult, run_tcic
 
 
 class TestDeterministicCascades:
@@ -12,6 +12,7 @@ class TestDeterministicCascades:
     def test_chain_infection(self):
         log = InteractionLog([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
         result = run_tcic(log, ["a"], window=10, probability=1.0)
+        assert isinstance(result, TCICResult)
         assert result.active == {"a", "b", "c", "d"}
 
     def test_window_cuts_chain(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.interactions import InteractionLog
 from repro.simulation.tcic import run_tcic
-from repro.simulation.tclt import estimate_tclt_spread, run_tclt
+from repro.simulation.tclt import TCLTResult, estimate_tclt_spread, run_tclt
 
 
 @pytest.fixture
@@ -19,6 +19,7 @@ class TestBasicBehaviour:
         hits = 0
         for seed in range(20):
             result = run_tclt(chain_log, ["a"], window=10, rng=seed)
+            assert isinstance(result, TCLTResult)
             if "b" in result.active:
                 hits += 1
         assert hits == 20

@@ -46,6 +46,8 @@ class TestBottomK:
             BottomK(k=2)
         with pytest.raises(TypeError):
             BottomK(k=8.0)
+        with pytest.raises(TypeError):
+            BottomK(k=True)
 
     def test_empty(self):
         sketch = BottomK(k=8)
@@ -140,6 +142,8 @@ class TestVersionedBottomK:
             sketch.add("x", 1.5)
         with pytest.raises(ValueError):
             sketch.merge_within(VersionedBottomK(k=8), 0, -1)
+        with pytest.raises(TypeError):
+            sketch.merge_within(VersionedBottomK(k=8), 0.5, 3)
         with pytest.raises(ValueError):
             sketch.merge(VersionedBottomK(k=16))
 

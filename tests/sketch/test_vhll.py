@@ -95,6 +95,13 @@ class TestAddPairDominance:
         with pytest.raises(ValueError):
             sketch.add_pair(-1, 1, 0)
 
+    def test_rejects_non_int_timestamp(self):
+        sketch = VersionedHLL(precision=4)
+        with pytest.raises(TypeError):
+            sketch.add_pair(0, 1, 2.5)
+        with pytest.raises(TypeError):
+            sketch.add_pair(0, 1, True)
+
     def test_paper_example3_sequence(self):
         """Example 3 of the paper, reverse-order arrivals into 4 cells."""
         sketch = VersionedHLL(precision=2)
