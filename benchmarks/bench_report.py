@@ -9,7 +9,17 @@ import os
 
 from conftest import RESULTS_DIR, register_text
 
+import repro.obs as obs
 from repro.analysis.report import generate_report
+
+_EXCERPT_METRICS = (
+    "exact.interactions",
+    "approx.interactions",
+    "vhll.cell_list_len",
+    "summary.bytes",
+    "oracle.query_seconds",
+    "maximization.gain_evaluations",
+)
 
 
 def test_report_generation(benchmark):
@@ -26,6 +36,16 @@ def test_report_generation(benchmark):
     assert "# Experiment report" in rendered
     for heading in ("Table 2", "Table 5", "Figure 5"):
         assert heading in rendered
+
+    if obs.enabled():
+        excerpt = [
+            sample
+            for sample in obs.snapshot(include_spans=False)
+            if sample["name"] in _EXCERPT_METRICS
+        ]
+        register_text(
+            "Observability excerpt (report run)", obs.render_report(excerpt)
+        )
 
     benchmark.pedantic(
         generate_report,

@@ -8,6 +8,10 @@ reproduction output without extra flags.
 
 Datasets are generated once per session and shared across benchmarks via
 the ``catalog_logs`` fixture.
+
+When observability is on (``REPRO_OBS=1``) the session additionally writes
+``benchmarks/results/metrics.jsonl`` — the full metric snapshot of the run
+— and prints the human-readable report after the reproduction tables.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Dict, List
 
 import pytest
 
+import repro.obs as obs
 from repro.analysis.metrics import format_table
 from repro.core.interactions import InteractionLog
 from repro.datasets.catalog import dataset_names, load_dataset
@@ -44,12 +49,20 @@ def register_text(name: str, rendered: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _TABLES:
-        return
-    terminalreporter.section("paper reproduction tables")
-    for table in _TABLES:
+    if _TABLES:
+        terminalreporter.section("paper reproduction tables")
+        for table in _TABLES:
+            terminalreporter.write_line("")
+            for line in table.splitlines():
+                terminalreporter.write_line(line)
+    if obs.enabled():
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        snapshot_path = os.path.join(RESULTS_DIR, "metrics.jsonl")
+        obs.write_snapshot(snapshot_path)
+        terminalreporter.section("observability snapshot (REPRO_OBS)")
+        terminalreporter.write_line(f"wrote {snapshot_path}")
         terminalreporter.write_line("")
-        for line in table.splitlines():
+        for line in obs.render_report(obs.snapshot()).splitlines():
             terminalreporter.write_line(line)
 
 

@@ -10,9 +10,15 @@ real time, keeps a streaming exact index and its sketch sibling, and after
 each day reports the accounts with the widest plausible exposure — plus a
 one-shot multi-window drill-down on the most exposed account.
 
+It also turns on the observability layer (:mod:`repro.obs`) so every
+per-day report carries live pipeline metrics — events ingested, mean
+per-event latency, index size — and the run ends with the full metrics
+snapshot table.
+
 Run:  python examples/live_monitoring.py
 """
 
+import repro.obs as obs
 from repro.core.multiwindow import MultiWindowIRS
 from repro.core.streaming import StreamingExactIndex, StreamingSketchIndex
 from repro.datasets import cascade_network
@@ -22,6 +28,7 @@ DAY = 1_000
 
 
 def main() -> None:
+    obs.enable()
     log = cascade_network(
         num_nodes=3_000,
         num_interactions=12_000,
@@ -57,6 +64,24 @@ def main() -> None:
         count = dual_index.irs_size(top, window)
         print(f"  omega = {window:>6}: {count:4d} possible influencers")
 
+    print("\nfinal metrics snapshot:")
+    print(obs.render_report(obs.snapshot()))
+
+
+def streaming_metrics_line() -> str:
+    """Live pipeline metrics pulled from the observability snapshot."""
+    events = 0
+    latency_sum = 0.0
+    latency_count = 0
+    for sample in obs.snapshot(include_spans=False):
+        if sample["name"] == "streaming.events":
+            events += sample["value"]
+        elif sample["name"] == "streaming.event_seconds" and sample["count"]:
+            latency_sum += sample["sum"]
+            latency_count += sample["count"]
+    mean_us = latency_sum / latency_count * 1e6 if latency_count else 0.0
+    return f"{events:.0f} events, {mean_us:.1f} us/event"
+
 
 def report(exact: StreamingExactIndex, sketch: StreamingSketchIndex, at: int) -> None:
     counts = [
@@ -69,7 +94,10 @@ def report(exact: StreamingExactIndex, sketch: StreamingSketchIndex, at: int) ->
         f"{node}: {count} (est {sketch.influencer_estimate(node):.0f})"
         for count, node in top
     )
-    print(f"tick {at:>6} — most-exposed accounts: {rendered or '(none yet)'}")
+    print(
+        f"tick {at:>6} — most-exposed accounts: {rendered or '(none yet)'} "
+        f"[{streaming_metrics_line()}]"
+    )
 
 
 if __name__ == "__main__":

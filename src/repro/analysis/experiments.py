@@ -23,9 +23,9 @@ seed_time_experiment     Table 6 (time to find the top-50 seeds)
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
 
+import repro.obs as obs
 from repro.analysis.memory import accounted_bytes, megabytes
 from repro.analysis.metrics import average_relative_error, seed_overlap
 from repro.baselines.continest import continest_top_k
@@ -45,7 +45,13 @@ from repro.core.oracle import ApproxInfluenceOracle, ExactInfluenceOracle
 from repro.datasets.catalog import dataset_names, load_dataset
 from repro.simulation.spread import estimate_spread
 from repro.utils.rng import RngLike, resolve_rng, spawn_rng
+from repro.utils.timer import Timer
 from repro.utils.validation import require_type
+
+_SUMMARY_BYTES = obs.gauge(
+    "summary.bytes",
+    "Accounted sketch-index memory per dataset and window (Table 4).",
+)
 
 __all__ = [
     "ALL_METHODS",
@@ -195,7 +201,11 @@ def memory_experiment(
         for percent in window_percents:
             window = log.window_from_percent(percent)
             index = ApproxIRS.from_log(log, window, precision=precision)
-            row[f"mb_at_{percent:g}pct"] = megabytes(accounted_bytes(index))
+            index_bytes = accounted_bytes(index)
+            _SUMMARY_BYTES.labels(dataset=name, window_pct=f"{percent:g}").set(
+                index_bytes
+            )
+            row[f"mb_at_{percent:g}pct"] = megabytes(index_bytes)
         rows.append(row)
     return rows
 
@@ -214,14 +224,14 @@ def runtime_experiment(
     for name, log in logs.items():
         for percent in window_percents:
             window = log.window_from_percent(percent)
-            start = time.perf_counter()
-            ApproxIRS.from_log(log, window, precision=precision)
-            elapsed = time.perf_counter() - start
+            with obs.span("experiment.runtime", dataset=name, window_pct=percent):
+                with Timer() as timer:
+                    ApproxIRS.from_log(log, window, precision=precision)
             rows.append(
                 {
                     "dataset": name,
                     "window_pct": percent,
-                    "seconds": elapsed,
+                    "seconds": timer.elapsed,
                 }
             )
     return rows
@@ -255,15 +265,14 @@ def oracle_query_experiment(
     rows = []
     for count in seed_counts:
         seeds = [nodes[generator.randrange(len(nodes))] for _ in range(count)]
-        start = time.perf_counter()
-        for _ in range(repetitions):
-            oracle.spread(seeds)
-        elapsed = (time.perf_counter() - start) / repetitions
+        with Timer() as timer:
+            for _ in range(repetitions):
+                oracle.spread(seeds)
         rows.append(
             {
                 "dataset": dataset,
                 "num_seeds": count,
-                "milliseconds": elapsed * 1_000.0,
+                "milliseconds": timer.elapsed / repetitions * 1_000.0,
             }
         )
     return rows
@@ -379,15 +388,16 @@ def seed_time_experiment(
         row: Dict[str, object] = {"dataset": name}
         window = log.window_from_percent(window_percent)
         for stream, method in enumerate(methods):
-            start = time.perf_counter()
-            select_seeds(
-                log,
-                method,
-                k,
-                window,
-                precision=precision,
-                rng=spawn_rng(generator, stream),
-            )
-            row[method] = time.perf_counter() - start
+            with obs.span("experiment.seed_time", dataset=name, method=method):
+                with Timer() as timer:
+                    select_seeds(
+                        log,
+                        method,
+                        k,
+                        window,
+                        precision=precision,
+                        rng=spawn_rng(generator, stream),
+                    )
+            row[method] = timer.elapsed
         rows.append(row)
     return rows

@@ -11,10 +11,16 @@ Four subcommands cover the typical workflow end to end:
 * ``explain``  — reconstruct the information channel behind an influence
   claim ("how could u have influenced v within ω?");
 * ``report``   — regenerate the full experiment report (markdown) at a
-  chosen scale.
+  chosen scale;
+* ``obs``      — render a recorded metrics snapshot (``obs report``).
 
 Every command reads/writes the whitespace ``source target time`` edge-list
 format of :meth:`repro.core.interactions.InteractionLog.read`.
+
+Observability: pass ``--obs`` to any command to record metrics for the
+invocation and print the human-readable report afterwards, or
+``--obs-output PATH`` to write the snapshot to a file instead (format
+inferred from the suffix, see :func:`repro.obs.write_snapshot`).
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+import repro.obs as obs
 from repro.analysis.experiments import ALL_METHODS, select_seeds
+from repro.obs import from_jsonl, render_report, to_jsonl, to_prometheus
 from repro.core.interactions import InteractionLog
 from repro.datasets.catalog import dataset_names, load_dataset
 from repro.simulation.spread import estimate_spread
@@ -51,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Influence analysis on interaction networks "
         "(Kumar & Calders, EDBT 2017 reproduction).",
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="record metrics for this invocation and print a report afterwards",
+    )
+    parser.add_argument(
+        "--obs-output",
+        default="",
+        metavar="PATH",
+        help="write the metrics snapshot to PATH (implies --obs; "
+        ".prom -> prometheus text, .txt -> table, else JSON lines)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -129,6 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--output", "-o", default="", help="write to this file instead of stdout"
+    )
+
+    obs_cmd = commands.add_parser(
+        "obs", help="observability utilities (render recorded snapshots)"
+    )
+    obs_actions = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_actions.add_parser(
+        "report", help="render a JSON-lines metrics snapshot"
+    )
+    obs_report.add_argument(
+        "--input", "-i", required=True, help="JSON-lines snapshot file"
+    )
+    obs_report.add_argument(
+        "--format",
+        choices=("table", "prometheus", "jsonl"),
+        default="table",
+        help="output rendering (default: table)",
     )
 
     return parser
@@ -221,11 +258,26 @@ def _command_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace, out) -> int:
+    with open(args.input, "r", encoding="utf-8") as handle:
+        samples = from_jsonl(handle.read())
+    if args.format == "table":
+        print(render_report(samples), file=out, end="")
+    elif args.format == "prometheus":
+        print(to_prometheus(samples), file=out, end="")
+    else:
+        print(to_jsonl(samples), file=out, end="")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     output = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_active = bool(args.obs or args.obs_output)
+    if obs_active:
+        obs.enable()
     handlers = {
         "generate": _command_generate,
         "stats": _command_stats,
@@ -233,9 +285,18 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "spread": _command_spread,
         "explain": _command_explain,
         "report": _command_report,
+        "obs": _command_obs,
     }
     try:
-        return handlers[args.command](args, output)
+        code = handlers[args.command](args, output)
     except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if obs_active and code == 0:
+        if args.obs_output:
+            obs.write_snapshot(args.obs_output)
+            print(f"wrote metrics snapshot to {args.obs_output}", file=output)
+        else:
+            print(file=output)
+            print(render_report(obs.snapshot()), file=output, end="")
+    return code

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
+import repro.obs as obs
 from repro.core.interactions import Interaction, InteractionLog
 from repro.lint.contracts import invariant, post_approx_apply
+from repro.obs import OBS_STATE as _OBS
 from repro.sketch.hashing import split_hash
 from repro.sketch.hll import estimate_from_registers
 from repro.sketch.vhll import VersionedHLL
@@ -26,6 +28,26 @@ from repro.utils.validation import require_int, require_non_negative, require_ty
 __all__ = ["ApproxIRS"]
 
 Node = Hashable
+
+_INTERACTIONS = obs.counter(
+    "approx.interactions", "Interactions processed by the sketch reverse scan."
+)
+_MERGES = obs.counter(
+    "approx.merges", "Sketch merges performed by the sketch reverse scan."
+)
+_ENTRIES = obs.gauge(
+    "approx.entries",
+    "Total (ρ, t) pairs stored across all sketches — the Table 4 memory quantity.",
+)
+_THROUGHPUT = obs.gauge(
+    "approx.interactions_per_second",
+    "Reverse-scan throughput of the last ApproxIRS.from_log build (Fig. 3).",
+)
+_CELL_LEN = obs.histogram(
+    "vhll.cell_list_len",
+    "Non-empty vHLL cell version-list lengths — Lemma 4 expects O(log ω) means.",
+    buckets=obs.DEFAULT_COUNT_BUCKETS,
+)
 
 
 class ApproxIRS:
@@ -84,16 +106,28 @@ class ApproxIRS:
         """
         require_type(log, "log", InteractionLog)
         index = cls(window, precision, salt)
-        batch: list[Interaction] = []
-        for record in log.reverse_time_order():
-            if batch and record.time != batch[0].time:
+        build_span = obs.span("approx.build", window=window, precision=precision)
+        with build_span:
+            batch: list[Interaction] = []
+            for record in log.reverse_time_order():
+                if batch and record.time != batch[0].time:
+                    index._process_batch(batch)
+                    batch = []
+                batch.append(record)
+            if batch:
                 index._process_batch(batch)
-                batch = []
-            batch.append(record)
-        if batch:
-            index._process_batch(batch)
-        for node in log.nodes:
-            index._sketch_for(node)
+            for node in log.nodes:
+                index._sketch_for(node)
+        if _OBS.enabled:
+            _ENTRIES.set(index.entry_count())
+            seconds = build_span.duration_ns / 1e9
+            if seconds > 0:
+                _THROUGHPUT.labels(window=window).set(len(log) / seconds)
+            cell_len = _CELL_LEN.labels(window=window)
+            for sketch in index._sketches.values():  # repro-lint: budget=O(n·β)
+                for length in sketch.cell_lengths():
+                    if length:
+                        cell_len.observe(length)
         return index
 
     def _process_batch(self, records: list[Interaction]) -> None:
@@ -137,6 +171,8 @@ class ApproxIRS:
         time: int,
         target_sketch: Optional[VersionedHLL],
     ) -> None:
+        if _OBS.enabled:
+            _INTERACTIONS.inc()
         if source == target or self._window == 0:
             self._sketch_for(source)
             self._sketch_for(target)
@@ -145,6 +181,8 @@ class ApproxIRS:
         cell, r = self._hash_node(target)
         sketch.add_pair(cell, r, time)
         if target_sketch is not None and not target_sketch.is_empty():
+            if _OBS.enabled:
+                _MERGES.inc()
             sketch.merge_within(target_sketch, time, self._window)
 
     def _sketch_for(self, node: Node) -> VersionedHLL:

@@ -20,14 +20,30 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
+import repro.obs as obs
 from repro.core.interactions import Interaction, InteractionLog
 from repro.core.summary import IRSSummary
 from repro.lint.contracts import invariant, post_exact_apply
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["ExactIRS"]
 
 Node = Hashable
+
+_INTERACTIONS = obs.counter(
+    "exact.interactions", "Interactions processed by the exact reverse scan."
+)
+_MERGES = obs.counter(
+    "exact.merges", "Summary merges performed by the exact reverse scan."
+)
+_ENTRIES = obs.gauge(
+    "exact.entries", "Total (node, λ) entries stored in the exact index — Lemma 3's O(n²)."
+)
+_THROUGHPUT = obs.gauge(
+    "exact.interactions_per_second",
+    "Reverse-scan throughput of the last ExactIRS.from_log build (Fig. 3).",
+)
 
 
 class ExactIRS:
@@ -70,17 +86,24 @@ class ExactIRS:
         """
         require_type(log, "log", InteractionLog)
         index = cls(window)
-        batch: list[Interaction] = []
-        for record in log.reverse_time_order():
-            if batch and record.time != batch[0].time:
+        build_span = obs.span("exact.build", window=window)
+        with build_span:
+            batch: list[Interaction] = []
+            for record in log.reverse_time_order():
+                if batch and record.time != batch[0].time:
+                    index._process_batch(batch)
+                    batch = []
+                batch.append(record)
+            if batch:
                 index._process_batch(batch)
-                batch = []
-            batch.append(record)
-        if batch:
-            index._process_batch(batch)
-        # Every node should answer queries, including pure sinks.
-        for node in log.nodes:
-            index._summaries.setdefault(node, IRSSummary())
+            # Every node should answer queries, including pure sinks.
+            for node in log.nodes:
+                index._summaries.setdefault(node, IRSSummary())
+        if _OBS.enabled:
+            _ENTRIES.set(index.entry_count())
+            seconds = build_span.duration_ns / 1e9
+            if seconds > 0:
+                _THROUGHPUT.labels(window=window).set(len(log) / seconds)
         return index
 
     def _process_batch(self, records: list[Interaction]) -> None:
@@ -127,6 +150,8 @@ class ExactIRS:
         time: int,
         target_summary: Optional[IRSSummary],
     ) -> None:
+        if _OBS.enabled:
+            _INTERACTIONS.inc()
         if source == target or self._window == 0:
             # Self-loops carry no influence; with ω = 0 even a single edge
             # (duration 1) exceeds the budget.
@@ -139,6 +164,8 @@ class ExactIRS:
             self._summaries[source] = summary
         summary.add(target, time)
         if target_summary is not None and len(target_summary) > 0:
+            if _OBS.enabled:
+                _MERGES.inc()
             summary.merge_within(target_summary, time, self._window, skip=source)
 
     # ------------------------------------------------------------------

@@ -25,7 +25,9 @@ from __future__ import annotations
 import heapq
 from typing import Hashable, Iterable, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.core.oracle import InfluenceOracle
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = [
@@ -36,6 +38,22 @@ __all__ = [
 ]
 
 Node = Hashable
+
+_GAIN_EVALS = obs.counter(
+    "maximization.gain_evaluations",
+    "Marginal-gain oracle evaluations during seed selection.",
+)
+_LAZY_HITS = obs.counter(
+    "maximization.lazy_hits",
+    "CELF selections accepted from a cached gain without re-evaluation.",
+)
+_CUTOFF_BREAKS = obs.counter(
+    "maximization.cutoff_breaks",
+    "Greedy rounds ended early by the sorted-scan upper-bound cutoff.",
+)
+_SEEDS_SELECTED = obs.counter(
+    "maximization.seeds_selected", "Seeds chosen across all selector calls."
+)
 
 
 def _candidate_list(
@@ -86,7 +104,9 @@ def greedy_top_k(
             if best_node is not None and best_gain >= upper_bound:
                 # Candidates are influence-sorted, so no later node can beat
                 # the current best — the paper's `if gain > σu: break`.
+                _CUTOFF_BREAKS.inc()
                 break
+            _GAIN_EVALS.inc()
             gain = oracle.gain(covered, node)
             if gain > best_gain:
                 best_gain = gain
@@ -96,6 +116,7 @@ def greedy_top_k(
         selected.append(best_node)
         chosen.add(best_node)
         oracle.accumulate(covered, best_node)
+        _SEEDS_SELECTED.inc()
     return selected
 
 
@@ -123,10 +144,14 @@ def celf_top_k(
     while len(selected) < k and heap:
         neg_gain, order, node, evaluated = heapq.heappop(heap)
         if evaluated == current_round:
+            if _OBS.enabled:
+                _LAZY_HITS.inc()
+                _SEEDS_SELECTED.inc()
             selected.append(node)
             oracle.accumulate(covered, node)
             current_round += 1
             continue
+        _GAIN_EVALS.inc()
         fresh_gain = oracle.gain(covered, node)
         heapq.heappush(heap, (-fresh_gain, order, node, current_round))
     return selected

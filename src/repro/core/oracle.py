@@ -23,8 +23,10 @@ from __future__ import annotations
 import abc
 from typing import Dict, Hashable, Iterable, List, Set
 
+import repro.obs as obs
 from repro.core.approx import ApproxIRS
 from repro.core.exact import ExactIRS
+from repro.obs import OBS_STATE as _OBS
 from repro.sketch.hll import estimate_from_registers
 from repro.utils.validation import require_int, require_type
 
@@ -35,6 +37,16 @@ __all__ = [
 ]
 
 Node = Hashable
+
+_QUERY_SECONDS = obs.histogram(
+    "oracle.query_seconds",
+    "Influence-oracle query latency by oracle kind and operation (Fig. 4).",
+)
+_QUERY_SEEDS = obs.histogram(
+    "oracle.query_seeds",
+    "Seed-set sizes handed to oracle spread queries.",
+    buckets=obs.DEFAULT_COUNT_BUCKETS,
+)
 
 
 class InfluenceOracle(abc.ABC):
@@ -95,6 +107,8 @@ class ExactInfluenceOracle(InfluenceOracle):
         self._sets: Dict[Node, frozenset] = {
             node: frozenset(reached) for node, reached in sets.items()
         }
+        self._obs_spread = _QUERY_SECONDS.labels(kind="exact", op="spread")
+        self._obs_gain = _QUERY_SECONDS.labels(kind="exact", op="gain")
 
     @classmethod
     def from_index(cls, index: ExactIRS) -> "ExactInfluenceOracle":
@@ -109,10 +123,14 @@ class ExactInfluenceOracle(InfluenceOracle):
         return float(len(self._sets.get(node, frozenset())))
 
     def spread(self, seeds: Iterable[Node]) -> float:
-        covered: Set[Node] = set()
-        for seed in seeds:
-            covered.update(self._sets.get(seed, frozenset()))
-        return float(len(covered))
+        if _OBS.enabled:
+            seeds = list(seeds)
+            _QUERY_SEEDS.observe(len(seeds))
+        with self._obs_spread.time():
+            covered: Set[Node] = set()
+            for seed in seeds:
+                covered.update(self._sets.get(seed, frozenset()))
+            return float(len(covered))
 
     def new_accumulator(self) -> Set[Node]:
         return set()
@@ -127,8 +145,9 @@ class ExactInfluenceOracle(InfluenceOracle):
 
     def gain(self, state: object, node: Node) -> float:
         assert isinstance(state, set)
-        reached = self._sets.get(node, frozenset())
-        return float(len(reached - state))
+        with self._obs_gain.time():
+            reached = self._sets.get(node, frozenset())
+            return float(len(reached - state))
 
     def copy_accumulator(self, state: object) -> Set[Node]:
         assert isinstance(state, set)
@@ -191,6 +210,8 @@ class ApproxInfluenceOracle(InfluenceOracle):
                 )
         self._registers = {node: list(array) for node, array in registers.items()}
         self._m = num_cells
+        self._obs_spread = _QUERY_SECONDS.labels(kind="sketch", op="spread")
+        self._obs_gain = _QUERY_SECONDS.labels(kind="sketch", op="gain")
 
     @classmethod
     def from_index(cls, index: ApproxIRS) -> "ApproxInfluenceOracle":
@@ -214,15 +235,19 @@ class ApproxInfluenceOracle(InfluenceOracle):
         return estimate_from_registers(array, self._m)
 
     def spread(self, seeds: Iterable[Node]) -> float:
-        combined = [0] * self._m
-        for seed in seeds:  # repro-lint: budget=O(|seeds|·β)
-            array = self._registers.get(seed)
-            if array is None:
-                continue
-            for i, value in enumerate(array):
-                if value > combined[i]:
-                    combined[i] = value
-        return estimate_from_registers(combined, self._m)
+        if _OBS.enabled:
+            seeds = list(seeds)
+            _QUERY_SEEDS.observe(len(seeds))
+        with self._obs_spread.time():
+            combined = [0] * self._m
+            for seed in seeds:  # repro-lint: budget=O(|seeds|·β)
+                array = self._registers.get(seed)
+                if array is None:
+                    continue
+                for i, value in enumerate(array):
+                    if value > combined[i]:
+                        combined[i] = value
+            return estimate_from_registers(combined, self._m)
 
     def new_accumulator(self) -> List[int]:
         return [0] * self._m
@@ -242,13 +267,14 @@ class ApproxInfluenceOracle(InfluenceOracle):
 
     def gain(self, state: object, node: Node) -> float:
         assert isinstance(state, list)
-        array = self._registers.get(node)
-        if array is None:
-            return 0.0
-        merged = [max(a, b) for a, b in zip(state, array)]
-        return estimate_from_registers(merged, self._m) - estimate_from_registers(
-            state, self._m
-        )
+        with self._obs_gain.time():
+            array = self._registers.get(node)
+            if array is None:
+                return 0.0
+            merged = [max(a, b) for a, b in zip(state, array)]
+            return estimate_from_registers(merged, self._m) - estimate_from_registers(
+                state, self._m
+            )
 
     def copy_accumulator(self, state: object) -> List[int]:
         assert isinstance(state, list)

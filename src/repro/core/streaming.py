@@ -39,10 +39,12 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional
 
+import repro.obs as obs
 from repro.core.approx import ApproxIRS
 from repro.core.exact import ExactIRS
 from repro.core.interactions import InteractionLog
 from repro.lint.contracts import invariant, post_streaming_process
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = [
@@ -52,6 +54,18 @@ __all__ = [
 ]
 
 Node = Hashable
+
+_EVENTS = obs.counter("streaming.events", "Interactions ingested by a streaming index.")
+_EVENT_SECONDS = obs.histogram(
+    "streaming.event_seconds", "Per-event ingest latency of the streaming indexes."
+)
+_ENTRIES = obs.gauge(
+    "streaming.entries",
+    "Stored entries of a streaming index (sampled every 1024 events).",
+)
+
+#: Refresh the entries gauge this often; entry_count() walks every summary.
+_ENTRIES_SAMPLE_EVERY = 1024
 
 
 class StreamingExactIndex:
@@ -76,6 +90,11 @@ class StreamingExactIndex:
         require_non_negative(window, "window")
         self._window = window
         self._dual = ExactIRS(window)
+        # Label children are resolved once; .inc()/.time() stay cheap.
+        self._obs_events = _EVENTS.labels(kind="exact")
+        self._obs_latency = _EVENT_SECONDS.labels(kind="exact")
+        self._obs_entries = _ENTRIES.labels(kind="exact")
+        self._obs_seen = 0
 
     @property
     def window(self) -> int:
@@ -93,7 +112,13 @@ class StreamingExactIndex:
         require_int(time, "time")
         # Dual: flip direction, negate time.  The dual index enforces
         # strictly decreasing dual stamps == strictly increasing originals.
-        self._dual.process(target, source, -time)
+        with self._obs_latency.time():
+            self._dual.process(target, source, -time)
+        if _OBS.enabled:
+            self._obs_events.inc()
+            self._obs_seen += 1
+            if self._obs_seen % _ENTRIES_SAMPLE_EVERY == 0:
+                self._obs_entries.set(self._dual.entry_count())
 
     @classmethod
     def from_log(cls, log: InteractionLog, window: int) -> "StreamingExactIndex":
@@ -142,6 +167,10 @@ class StreamingSketchIndex:
         require_non_negative(window, "window")
         self._window = window
         self._dual = ApproxIRS(window, precision=precision, salt=salt)
+        self._obs_events = _EVENTS.labels(kind="sketch")
+        self._obs_latency = _EVENT_SECONDS.labels(kind="sketch")
+        self._obs_entries = _ENTRIES.labels(kind="sketch")
+        self._obs_seen = 0
 
     @property
     def window(self) -> int:
@@ -162,7 +191,13 @@ class StreamingSketchIndex:
     def process(self, source: Node, target: Node, time: int) -> None:
         """Feed one interaction; times must be strictly increasing."""
         require_int(time, "time")
-        self._dual.process(target, source, -time)
+        with self._obs_latency.time():
+            self._dual.process(target, source, -time)
+        if _OBS.enabled:
+            self._obs_events.inc()
+            self._obs_seen += 1
+            if self._obs_seen % _ENTRIES_SAMPLE_EVERY == 0:
+                self._obs_entries.set(self._dual.entry_count())
 
     @classmethod
     def from_log(

@@ -14,12 +14,22 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, ItemsView, Iterator, KeysView, Optional
 
+import repro.obs as obs
 from repro.lint.contracts import invariant, post_summary_add, post_summary_merge
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["IRSSummary"]
 
 Node = Hashable
+
+_ADD_OPS = obs.counter("summary.add_ops", "IRSSummary.add calls (Algorithm 2 Add).")
+_MERGE_OPS = obs.counter(
+    "summary.merge_ops", "IRSSummary.merge_within calls (Algorithm 2 Merge)."
+)
+_MERGE_ADDED = obs.counter(
+    "summary.merge_added", "Entries newly added to summaries by merge_within."
+)
 
 
 class IRSSummary:
@@ -53,6 +63,8 @@ class IRSSummary:
         This is the paper's ``Add(ϕ(u), (v, t))``.
         """
         require_int(end_time, "end_time")
+        if _OBS.enabled:
+            _ADD_OPS.inc()
         current = self._entries.get(node)
         if current is None or end_time < current:
             self._entries[node] = end_time
@@ -78,12 +90,17 @@ class IRSSummary:
         require_non_negative(window, "window")
         deadline = start_time + window  # keep t_x < deadline
         entries = self._entries
+        recording = _OBS.enabled
+        before = len(entries) if recording else 0
         for node, end_time in other._entries.items():
             if end_time >= deadline or node is skip or node == skip:
                 continue
             current = entries.get(node)
             if current is None or end_time < current:
                 entries[node] = end_time
+        if recording:
+            _MERGE_OPS.inc()
+            _MERGE_ADDED.inc(len(entries) - before)
 
     # ------------------------------------------------------------------
     # Queries

@@ -49,7 +49,17 @@ __all__ = [
 
 #: Sub-packages of ``repro`` that rule scopes refer to.
 KNOWN_SUBPACKAGES = frozenset(
-    {"core", "sketch", "simulation", "baselines", "datasets", "analysis", "utils", "lint"}
+    {
+        "core",
+        "sketch",
+        "simulation",
+        "baselines",
+        "datasets",
+        "analysis",
+        "utils",
+        "lint",
+        "obs",
+    }
 )
 
 #: Directories next to ``src`` whose identifiers count as external

@@ -16,6 +16,10 @@ rationale):
   mutating a sorted sequence silently breaks Definition 2.
 * **R004** — public functions in ``core`` and ``sketch`` carry complete
   type annotations, keeping the mypy gate meaningful.
+* **R006** — no direct timing calls (``time.perf_counter()``,
+  ``time.time()``, …) outside ``repro/utils/timer.py`` and
+  ``repro/obs/``; all measurement flows through the instrumented layer
+  so observability sees every clock read.
 
 Rules are plain classes registered in :data:`REGISTRY`; adding a rule is
 subclassing :class:`Rule` and decorating with :func:`register`.
@@ -36,6 +40,7 @@ __all__ = [
     "ValidateAlgorithmParameters",
     "NoMutationAfterSort",
     "PublicApiFullyAnnotated",
+    "NoDirectTimingCalls",
 ]
 
 ALGORITHM_SCOPES = frozenset({"core", "sketch", "simulation", "baselines"})
@@ -453,6 +458,91 @@ class NoMutationAfterSort(Rule):
                         f"{tracked[func.value.id]}; build a new sequence instead",
                     )
                 )
+
+
+# ----------------------------------------------------------------------
+# R006 — timing goes through utils.timer / obs
+# ----------------------------------------------------------------------
+
+
+#: ``time``-module attributes that read a clock for measurement.
+TIMING_ATTRS = frozenset(
+    {
+        "perf_counter",
+        "perf_counter_ns",
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Files allowed to read the clock directly: the instrumented layer
+#: itself.  Matched against normalised path suffixes.
+TIMING_EXEMPT_SUFFIXES = ("repro/utils/timer.py", "utils/timer.py")
+
+
+def timing_exempt(path: str, subpackage: Optional[str]) -> bool:
+    """True for files that *are* the instrumented timing layer."""
+    if subpackage == "obs":
+        return True
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(TIMING_EXEMPT_SUFFIXES)
+
+
+@register
+class NoDirectTimingCalls(Rule):
+    """Forbid direct clock reads outside utils.timer and repro.obs."""
+
+    rule_id = "R006"
+    name = "no-direct-timing-calls"
+    description = (
+        "Direct timing calls (time.perf_counter(), time.time(), …) outside "
+        "repro/utils/timer.py and repro/obs/ bypass the instrumented layer; "
+        "use utils.timer.Timer / time_call or an obs span or histogram."
+    )
+    scopes = None  # everywhere under src/repro
+
+    def check(self, ctx) -> list:
+        if timing_exempt(ctx.path, ctx.subpackage):
+            return []
+        # Local names bound from `from time import perf_counter [as p]`
+        # so bare calls are caught too.
+        local_timing: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    if alias.name in TIMING_ATTRS:
+                        local_timing[alias.asname or alias.name] = f"time.{alias.name}"
+        violations = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _callee_name(node)
+            if name is None:
+                continue
+            original = None
+            if name.startswith("time.") and name[len("time."):] in TIMING_ATTRS:
+                original = name
+            elif name in local_timing:
+                original = local_timing[name]
+            if original is not None:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"direct timing call {original}() bypasses the instrumented "
+                        "layer; use repro.utils.timer (Timer/time_call) or a "
+                        "repro.obs span/histogram instead",
+                    )
+                )
+        return violations
 
 
 # ----------------------------------------------------------------------

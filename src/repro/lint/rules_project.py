@@ -21,6 +21,11 @@ These rules see the whole program, not one file (see
   call sites where the receiver and argument sketches cannot be proven
   to share constructor configuration (precision/salt/seed/k — Lemma 2,
   §3.2 requires identical parameters for vHLL unions).
+* **R106** — timing-API imports outside the instrumented layer:
+  ``from time import perf_counter`` (possibly aliased) and
+  ``import time as t`` rebind the clock under names R006's literal
+  call matching cannot see; only ``repro/utils/timer.py`` and
+  ``repro/obs/`` may bind the timing API.
 
 R102 and R103 are per-file rules that live here because they belong to
 the same analysis wave; R101/R104/R105 set ``project_scope`` and are
@@ -45,10 +50,12 @@ from repro.lint.project import (
 )
 from repro.lint.rules import (
     ALGORITHM_SCOPES,
+    TIMING_ATTRS,
     TYPED_SCOPES,
     Rule,
     _walk_functions,
     register,
+    timing_exempt,
 )
 
 __all__ = [
@@ -58,6 +65,7 @@ __all__ = [
     "ComplexityBudget",
     "DeadExports",
     "SketchMergeCompatibility",
+    "TimingImportsOutsideTimer",
 ]
 
 
@@ -914,3 +922,67 @@ class SketchMergeCompatibility(ProjectRule):
             return False
         first = configs[0]
         return all(config == first for config in configs[1:])
+
+
+# ----------------------------------------------------------------------
+# R106 — timing-API imports outside the instrumented layer
+# ----------------------------------------------------------------------
+
+
+@register
+class TimingImportsOutsideTimer(ProjectRule):
+    """Flag bindings of the ``time`` measurement API outside timer/obs.
+
+    R006 catches literal ``time.perf_counter()`` call sites; this rule
+    closes the two evasions a per-file literal match cannot see —
+    ``from time import perf_counter as tick`` and ``import time as t``
+    — by inspecting every module's import bindings.
+    """
+
+    rule_id = "R106"
+    name = "no-timing-imports-outside-timer"
+    description = (
+        "Binding the time-module measurement API (from time import "
+        "perf_counter/…, import time as alias) outside repro/utils/timer.py "
+        "and repro/obs/ lets clock reads evade R006; route timing through "
+        "the instrumented layer instead."
+    )
+    scopes = None
+
+    def check_project(self, index: ProjectIndex) -> list:
+        violations = []
+        for module in index.modules.values():
+            if timing_exempt(module.path, module.subpackage):
+                continue
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.ImportFrom)
+                    and node.module == "time"
+                    and node.level == 0
+                ):
+                    for alias in node.names:
+                        if alias.name not in TIMING_ATTRS:
+                            continue
+                        bound = alias.asname or alias.name
+                        violations.append(
+                            self.violation_at(
+                                module,
+                                node,
+                                f"'from time import {alias.name}' binds the timing "
+                                f"API as {bound!r} outside the instrumented layer; "
+                                "use repro.utils.timer or repro.obs instead",
+                            )
+                        )
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "time" and alias.asname is not None:
+                            violations.append(
+                                self.violation_at(
+                                    module,
+                                    node,
+                                    f"'import time as {alias.asname}' hides clock "
+                                    "reads from R006's literal matching; import "
+                                    "repro.utils.timer or repro.obs instead",
+                                )
+                            )
+        return violations

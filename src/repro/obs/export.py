@@ -1,0 +1,198 @@
+"""Exporters for metric snapshots.
+
+All three formats operate on the plain sample dicts produced by
+:meth:`repro.obs.registry.MetricRegistry.samples` (and the span records
+from :class:`repro.obs.spans.SpanRecorder`), so a snapshot written to
+disk as JSON lines can be re-rendered later as a table or
+Prometheus-style text without the live registry.
+
+Formats:
+
+* **JSON lines** — one sample per line; the archival format and the CI
+  artifact.
+* **Prometheus text** — the ``# HELP`` / ``# TYPE`` exposition format;
+  metric names have dots mapped to underscores, histograms expand into
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+* **Report table** — a human-readable summary for ``repro obs report``
+  and the benchmark terminal summary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["to_jsonl", "from_jsonl", "to_prometheus", "render_report"]
+
+
+def to_jsonl(samples: Iterable[dict]) -> str:
+    """Serialize samples as JSON lines (trailing newline included)."""
+    lines = [json.dumps(sample, sort_keys=True) for sample in samples]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_jsonl(text: str) -> List[dict]:
+    """Parse a JSON-lines snapshot back into sample dicts."""
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(sample, dict) or "name" not in sample or "type" not in sample:
+            raise ValueError(f"line {lineno}: not a metrics sample: {line[:80]}")
+        samples.append(sample)
+    return samples
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(samples: Iterable[dict]) -> str:
+    """Render samples in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers = set()
+    for sample in samples:
+        kind = sample.get("type", "")
+        if kind == "span":
+            continue  # spans export through their {name}_seconds histogram
+        name = _prom_name(sample["name"])
+        labels = sample.get("labels", {})
+        if name not in seen_headers:
+            description = sample.get("description", "")
+            if description:
+                lines.append(f"# HELP {name} {_escape(description)}")
+            lines.append(f"# TYPE {name} {kind}")
+            seen_headers.add(name)
+        if kind == "histogram":
+            cumulative = 0
+            for bound, running in sample.get("buckets", []):
+                cumulative = running
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, {'le': _format_value(bound)})}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})} {sample['count']}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {sample['sum']!r}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {sample['count']}")
+        else:
+            lines.append(
+                f"{name}{_prom_labels(labels)} {_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+def _sig(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_report(samples: Iterable[dict]) -> str:
+    """A human-readable table for each metric kind present."""
+    counters, gauges, histograms, spans = [], [], [], []
+    for sample in samples:
+        kind = sample.get("type")
+        if kind == "counter":
+            counters.append(sample)
+        elif kind == "gauge":
+            gauges.append(sample)
+        elif kind == "histogram":
+            histograms.append(sample)
+        elif kind == "span":
+            spans.append(sample)
+
+    sections: List[str] = []
+    if counters:
+        rows = [
+            [s["name"], _label_text(s["labels"]), _sig(s["value"])] for s in counters
+        ]
+        sections.append("counters")
+        sections.extend(_render_table(("name", "labels", "value"), rows))
+        sections.append("")
+    if gauges:
+        rows = [
+            [s["name"], _label_text(s["labels"]), _sig(s["value"])] for s in gauges
+        ]
+        sections.append("gauges")
+        sections.extend(_render_table(("name", "labels", "value"), rows))
+        sections.append("")
+    if histograms:
+        rows = [
+            [
+                s["name"],
+                _label_text(s["labels"]),
+                str(s["count"]),
+                _sig(s["mean"]),
+                _sig(s["min"]),
+                _sig(s["max"]),
+            ]
+            for s in histograms
+        ]
+        sections.append("histograms")
+        sections.extend(
+            _render_table(("name", "labels", "count", "mean", "min", "max"), rows)
+        )
+        sections.append("")
+    if spans:
+        rows = [
+            [
+                s["name"],
+                _label_text(s.get("labels", {})),
+                _sig(s.get("duration_ns", 0) / 1e9),
+                str(s.get("parent") or "-"),
+            ]
+            for s in spans
+        ]
+        sections.append("spans")
+        sections.extend(_render_table(("name", "labels", "seconds", "parent"), rows))
+        sections.append("")
+    if not sections:
+        return "(no metrics recorded)\n"
+    return "\n".join(sections)

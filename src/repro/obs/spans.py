@@ -1,0 +1,135 @@
+"""Lightweight tracing spans layered on the metric registry.
+
+A span wraps a region of work (an index build, an experiment stage) and
+records a timestamped entry — name, labels, duration, parent span,
+thread — into a bounded in-memory buffer.  Span durations are also
+observed into a histogram named ``{name}_seconds`` in the owning
+registry, so exporters see them without special handling.
+
+Like the metrics, the disabled path is a single attribute check:
+``span(...)`` returns a shared no-op singleton while observability is
+off, and the active-span stack is thread-local so concurrent pipelines
+nest correctly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricRegistry
+
+__all__ = ["Span", "SpanRecorder", "NOOP_SPAN"]
+
+#: Retain at most this many finished span records (oldest dropped first).
+MAX_SPAN_RECORDS = 4096
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while observability is off."""
+
+    __slots__ = ()
+
+    name = ""
+    duration_ns = 0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One active span; use as a context manager."""
+
+    __slots__ = ("name", "labels", "_recorder", "_start_ns", "duration_ns", "_parent")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._recorder = recorder
+        self._start_ns = 0
+        self.duration_ns = 0
+        self._parent: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        stack = self._recorder._stack()
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.duration_ns = time.perf_counter_ns() - self._start_ns
+        stack = self._recorder._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._recorder._finish(self)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed wall time in seconds (0.0 until the span exits)."""
+        return self.duration_ns / 1e9
+
+
+#: What ``span(...)`` hands back: a live span or the shared no-op.
+SpanHandle = Union[Span, _NoopSpan]
+
+
+class SpanRecorder:
+    """Creates spans and retains a bounded buffer of finished records."""
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self._registry = registry
+        self._records: Deque[dict] = deque(maxlen=MAX_SPAN_RECORDS)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **labels: object) -> "SpanHandle":
+        """A context-manager span; the no-op singleton while disabled."""
+        if not self._registry.state.enabled:
+            return NOOP_SPAN
+        return Span(self, name, {k: str(v) for k, v in labels.items()})
+
+    def _finish(self, span: Span) -> None:
+        record = {
+            "type": "span",
+            "name": span.name,
+            "labels": span.labels,
+            "duration_ns": span.duration_ns,
+            "parent": span._parent,
+            "thread": threading.current_thread().name,
+        }
+        with self._lock:
+            self._records.append(record)
+        histogram = self._registry.histogram(
+            f"{span.name}_seconds",
+            f"Duration of {span.name} spans.",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        if span.labels:
+            histogram = histogram.labels(**span.labels)
+        histogram.observe(span.duration_ns / 1e9)
+
+    def records(self) -> List[dict]:
+        """Finished span records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def reset(self) -> None:
+        """Drop every retained span record."""
+        with self._lock:
+            self._records.clear()

@@ -37,7 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Set
 
+import repro.obs as obs
 from repro.core.interactions import InteractionLog
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.rng import RngLike, resolve_rng
 from repro.utils.validation import (
     require_int,
@@ -49,6 +51,16 @@ from repro.utils.validation import (
 __all__ = ["TCICResult", "run_tcic"]
 
 Node = Hashable
+
+_RUNS = obs.counter("tcic.runs", "TCIC cascade simulations executed.")
+_INFECTIONS = obs.counter(
+    "tcic.infections", "Successful non-seed infections across all TCIC runs."
+)
+_SPREAD = obs.histogram(
+    "tcic.spread",
+    "Active-node counts at the end of TCIC runs.",
+    buckets=obs.DEFAULT_COUNT_BUCKETS,
+)
 
 
 @dataclass
@@ -126,6 +138,10 @@ def run_tcic(
             # Already infected, but the fresher chain extends the budget.
             activate_time[target] = source_clock
 
+    if _OBS.enabled:
+        _RUNS.inc()
+        _INFECTIONS.inc(infections)
+        _SPREAD.observe(len(activate_time))
     return TCICResult(
         active=set(activate_time),
         activate_time=activate_time,

@@ -29,13 +29,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Set, Tuple
 
+import repro.obs as obs
 from repro.core.interactions import InteractionLog
+from repro.obs import OBS_STATE as _OBS
 from repro.utils.rng import RngLike, resolve_rng
 from repro.utils.validation import require_int, require_non_negative, require_type
 
 __all__ = ["TCLTResult", "run_tclt", "estimate_tclt_spread"]
 
 Node = Hashable
+
+_RUNS = obs.counter("tclt.runs", "TCLT cascade simulations executed.")
+_SPREAD = obs.histogram(
+    "tclt.spread",
+    "Active-node counts at the end of TCLT runs.",
+    buckets=obs.DEFAULT_COUNT_BUCKETS,
+)
 
 
 @dataclass
@@ -107,6 +116,9 @@ def run_tclt(
         if weight >= thresholds[target]:
             activate_time[target] = source_clock
 
+    if _OBS.enabled:
+        _RUNS.inc()
+        _SPREAD.observe(len(activate_time))
     return TCLTResult(active=set(activate_time), thresholds=thresholds)
 
 

@@ -28,7 +28,9 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Hashable, Iterable, Optional
 
+import repro.obs as obs
 from repro.lint.contracts import invariant, post_vhll_mutation
+from repro.obs import OBS_STATE as _OBS
 from repro.sketch.hashing import split_hash
 from repro.sketch.hll import estimate_from_registers
 from repro.utils.validation import (
@@ -41,6 +43,16 @@ from repro.utils.validation import (
 __all__ = ["VersionedHLL"]
 
 _TIME_KEY = lambda pair: pair[0]  # noqa: E731 - bisect key, kept tiny on purpose
+
+_PAIRS_INSERTED = obs.counter(
+    "vhll.pairs_inserted", "Pairs that survived dominance checks and were stored."
+)
+_PAIRS_DOMINATED = obs.counter(
+    "vhll.pairs_dominated", "Incoming pairs dropped because an existing pair dominates."
+)
+_PAIRS_PRUNED = obs.counter(
+    "vhll.pairs_pruned", "Stored pairs evicted because a new pair dominates them."
+)
 
 
 class VersionedHLL:
@@ -138,6 +150,8 @@ class VersionedHLL:
         pairs = self._cells[cell]
         if pairs is None:
             self._cells[cell] = [(timestamp, r)]
+            if _OBS.enabled:
+                _PAIRS_INSERTED.inc()
             return
         # Position of the first pair with t >= timestamp.
         i = bisect_left(pairs, timestamp, key=_TIME_KEY)
@@ -146,10 +160,16 @@ class VersionedHLL:
         # at position i with t' == timestamp also has t' <= timestamp.
         if i < len(pairs) and pairs[i][0] == timestamp:
             if pairs[i][1] >= r:
+                if _OBS.enabled:
+                    _PAIRS_DOMINATED.inc()
                 return
             # Same time, smaller rho: strictly dominated by the new pair.
             del pairs[i]
+            if _OBS.enabled:
+                _PAIRS_PRUNED.inc()
         elif i > 0 and pairs[i - 1][1] >= r:
+            if _OBS.enabled:
+                _PAIRS_DOMINATED.inc()
             return
         # Remove pairs the new one dominates: t'' >= timestamp and rho'' <= r.
         # They form a contiguous run starting at i (rho increases with t).
@@ -158,6 +178,10 @@ class VersionedHLL:
         while j < n and pairs[j][1] <= r:
             j += 1
         pairs[i:j] = [(timestamp, r)]
+        if _OBS.enabled:
+            _PAIRS_INSERTED.inc()
+            if j > i:
+                _PAIRS_PRUNED.inc(j - i)
 
     @invariant(post_vhll_mutation)
     def merge(self, other: "VersionedHLL") -> None:

@@ -1,4 +1,10 @@
-"""Wall-clock timing utilities used by the experiment harness."""
+"""Wall-clock timing utilities used by the experiment harness.
+
+This module (together with :mod:`repro.obs`) is the *only* place the
+repro reads the clock directly — lint rules R006/R106 flag direct
+``time.perf_counter()`` / ``time.time()`` calls anywhere else, so every
+measurement flows through one instrumented layer.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,11 @@ __all__ = ["Timer", "time_call"]
 
 
 class Timer:
-    """A context manager that records elapsed wall-clock seconds.
+    """A context manager that records elapsed wall-clock time.
+
+    Sequential reuse is supported; *re-entrant* use is not — a second
+    ``__enter__`` before the matching ``__exit__`` would silently discard
+    the first start time, so it raises instead.
 
     Example
     -------
@@ -20,22 +30,32 @@ class Timer:
     """
 
     def __init__(self) -> None:
-        self._start: Optional[float] = None
-        self.elapsed: float = 0.0
+        self._start_ns: Optional[int] = None
+        self.elapsed_ns: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the most recent completed timing."""
+        return self.elapsed_ns / 1e9
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._start_ns is not None:
+            raise RuntimeError(
+                "Timer is already running: re-entrant __enter__ would discard "
+                "the active start time (use a second Timer instance)"
+            )
+        self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        if self._start is None:  # pragma: no cover - defensive
+        if self._start_ns is None:  # pragma: no cover - defensive
             raise RuntimeError("Timer.__exit__ called before __enter__")
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+        self.elapsed_ns = time.perf_counter_ns() - self._start_ns
+        self._start_ns = None
 
 
 def time_call(func: Callable[[], object]) -> tuple[object, float]:
     """Call ``func()`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
+    start_ns = time.perf_counter_ns()
     result = func()
-    return result, time.perf_counter() - start
+    return result, (time.perf_counter_ns() - start_ns) / 1e9

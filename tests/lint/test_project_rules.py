@@ -1,4 +1,4 @@
-"""Positive/negative fixtures for the cross-module rules R101–R105."""
+"""Positive/negative fixtures for the cross-module rules R101–R106."""
 
 from __future__ import annotations
 
@@ -13,6 +13,7 @@ from repro.lint.rules_project import (
     ProjectRule,
     SketchMergeCompatibility,
     TemporalOrderMisuse,
+    TimingImportsOutsideTimer,
 )
 
 
@@ -28,7 +29,8 @@ def test_rule_classes_registered_under_expected_ids():
     assert isinstance(get_rule("R103"), ComplexityBudget)
     assert isinstance(get_rule("R104"), DeadExports)
     assert isinstance(get_rule("R105"), SketchMergeCompatibility)
-    for rule_id in ("R101", "R104", "R105"):
+    assert isinstance(get_rule("R106"), TimingImportsOutsideTimer)
+    for rule_id in ("R101", "R104", "R105", "R106"):
         assert isinstance(get_rule(rule_id), ProjectRule)
         assert get_rule(rule_id).project_scope
     for rule_id in ("R102", "R103"):
@@ -397,3 +399,56 @@ class TestR105:
             "    return a\n"
         )
         assert project_violations(sources, "R105") == []
+
+
+# ----------------------------------------------------------------------
+# R106 — timing imports stay inside the instrumented layer
+# ----------------------------------------------------------------------
+
+
+class TestR106:
+    def test_aliased_timing_imports_flagged(self):
+        sources = {
+            "src/repro/analysis/bad.py": (
+                "from time import perf_counter as tick\n"
+                "import time as t\n"
+                "\n"
+                "def measure(func):\n"
+                "    start = tick()\n"
+                "    func()\n"
+                "    return t.perf_counter() - start\n"
+            )
+        }
+        violations = project_violations(sources, "R106")
+        assert len(violations) == 2
+        messages = " ".join(v.message for v in violations)
+        assert "'from time import perf_counter'" in messages
+        assert "'import time as t'" in messages
+
+    def test_plain_import_time_and_sleep_allowed(self):
+        sources = {
+            "src/repro/analysis/fine.py": (
+                "import time\n"
+                "from time import sleep\n"
+                "\n"
+                "def wait():\n"
+                "    sleep(0.01)\n"
+                "    time.sleep(0.01)\n"
+            )
+        }
+        assert project_violations(sources, "R106") == []
+
+    def test_instrumented_layer_is_exempt(self):
+        sources = {
+            "src/repro/utils/timer.py": "from time import perf_counter_ns\n",
+            "src/repro/obs/registry.py": "from time import perf_counter_ns\n",
+        }
+        assert project_violations(sources, "R106") == []
+
+    def test_suppression_comment_silences_the_import(self):
+        sources = {
+            "src/repro/analysis/quiet.py": (
+                "from time import perf_counter  # repro-lint: disable=R106\n"
+            )
+        }
+        assert project_violations(sources, "R106") == []

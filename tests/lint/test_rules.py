@@ -11,6 +11,7 @@ import repro
 from repro.lint import LintEngine, all_rules, get_rule, lint_source
 from repro.lint.cli import main
 from repro.lint.rules import (
+    NoDirectTimingCalls,
     NoMutationAfterSort,
     NoWallClockOrUnseededRandom,
     PublicApiFullyAnnotated,
@@ -222,6 +223,67 @@ def test_r004_is_scoped_to_core_and_sketch():
 
 
 # ----------------------------------------------------------------------
+# R006 — timing goes through utils.timer / obs
+# ----------------------------------------------------------------------
+
+
+R006_POSITIVE = """
+import time
+from time import perf_counter as tick
+
+
+def measure(func):
+    start = time.perf_counter()
+    func()
+    wall = time.time()
+    mono = time.monotonic_ns()
+    bare = tick()
+    return start, wall, mono, bare
+"""
+
+R006_NEGATIVE = """
+import time
+
+from repro.utils.timer import Timer, time_call
+
+
+def measure(func):
+    with Timer() as timer:
+        func()
+    _, elapsed = time_call(func)
+    time.sleep(0.01)  # sleeping is not measuring
+    return timer.elapsed, elapsed
+"""
+
+
+def test_r006_flags_direct_and_imported_timing_calls():
+    violations = lint_with("R006", R006_POSITIVE)
+    assert ids_of(violations) == ["R006"]
+    messages = " ".join(violation.message for violation in violations)
+    assert len(violations) == 4
+    assert "time.perf_counter" in messages
+    assert "time.time" in messages
+    assert "time.monotonic_ns" in messages
+
+
+def test_r006_accepts_timer_routed_code_and_sleep():
+    assert lint_with("R006", R006_NEGATIVE) == []
+
+
+def test_r006_exempts_the_instrumented_layer():
+    rule = get_rule("R006")
+    assert isinstance(rule, NoDirectTimingCalls)
+    exempt = lint_source(
+        R006_POSITIVE, path="src/repro/utils/timer.py", rules=[rule]
+    )
+    assert exempt == []
+    in_obs = lint_source(
+        R006_POSITIVE, path="src/repro/obs/registry.py", subpackage="obs", rules=[rule]
+    )
+    assert in_obs == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 
@@ -288,16 +350,19 @@ def test_rule_registry_is_complete():
         "R002",
         "R003",
         "R004",
+        "R006",
         "R101",
         "R102",
         "R103",
         "R104",
         "R105",
+        "R106",
     ]
     assert isinstance(get_rule("R001"), NoWallClockOrUnseededRandom)
     assert isinstance(get_rule("R002"), ValidateAlgorithmParameters)
     assert isinstance(get_rule("R003"), NoMutationAfterSort)
     assert isinstance(get_rule("R004"), PublicApiFullyAnnotated)
+    assert isinstance(get_rule("R006"), NoDirectTimingCalls)
     with pytest.raises(KeyError, match="unknown rule"):
         get_rule("R999")
     assert [rule.rule_id for rule in select_rules(["R003", "R001"])] == ["R001", "R003"]

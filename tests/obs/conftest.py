@@ -1,0 +1,16 @@
+"""Every obs test starts and ends with a clean, disabled registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,42 @@
+"""REPRO_OBS environment activation is read once at import time."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.obs import OBS_ENV
+
+PROBE = (
+    "import repro.obs as obs; "
+    "print('enabled' if obs.enabled() else 'disabled')"
+)
+
+
+def _run(env_value):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.pop(OBS_ENV, None)
+    if env_value is not None:
+        env[OBS_ENV] = env_value
+    result = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        env=env,
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+def test_unset_or_zero_stays_disabled():
+    assert _run(None) == "disabled"
+    assert _run("") == "disabled"
+    assert _run("0") == "disabled"
+
+
+def test_any_other_value_enables_at_import():
+    assert _run("1") == "enabled"
+    assert _run("jsonl") == "enabled"

@@ -1,0 +1,116 @@
+"""Exporter round-trips: JSON-lines, Prometheus text, report table."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    MetricRegistry,
+    from_jsonl,
+    render_report,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+def populated_registry() -> MetricRegistry:
+    registry = MetricRegistry()
+    registry.enable()
+    registry.counter("scan.items", "Items scanned.").labels(window=10).inc(5)
+    registry.gauge("index.entries", "Entries resident.").set(42)
+    hist = registry.histogram("query.seconds", "Query latency.", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestJsonl:
+    def test_round_trip_preserves_samples(self):
+        samples = populated_registry().samples()
+        assert from_jsonl(to_jsonl(samples)) == samples
+
+    def test_one_line_per_sample_with_trailing_newline(self):
+        samples = populated_registry().samples()
+        text = to_jsonl(samples)
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == len(samples)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            from_jsonl("not json\n")
+        with pytest.raises(ValueError, match="not a metrics sample"):
+            from_jsonl('{"type": "counter", "value": 1}\n')
+
+    def test_blank_lines_skipped(self):
+        samples = populated_registry().samples()
+        text = "\n" + to_jsonl(samples) + "\n\n"
+        assert from_jsonl(text) == samples
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(populated_registry().samples())
+        assert "# HELP scan_items Items scanned." in text
+        assert "# TYPE scan_items counter" in text
+        assert 'scan_items{window="10"} 5' in text
+        assert "index_entries 42" in text
+        assert 'query_seconds_bucket{le="0.1"} 1' in text
+        assert 'query_seconds_bucket{le="1"} 2' in text
+        assert 'query_seconds_bucket{le="+Inf"} 3' in text
+        assert "query_seconds_sum 5.55" in text
+        assert "query_seconds_count 3" in text
+
+    def test_span_records_are_skipped(self):
+        obs.enable()
+        with obs.span("stage"):
+            pass
+        text = to_prometheus(obs.snapshot())
+        assert "stage_seconds_count 1" in text  # via the derived histogram
+        assert '"span"' not in text
+
+
+class TestReport:
+    def test_table_sections(self):
+        report = render_report(populated_registry().samples())
+        assert "counters" in report
+        assert "gauges" in report
+        assert "histograms" in report
+        assert "scan.items" in report
+        assert "window=10" in report
+
+    def test_span_section_renders_durations(self):
+        obs.enable()
+        with obs.span("stage", phase="scan"):
+            pass
+        report = render_report(obs.snapshot())
+        assert "spans" in report
+        assert "phase=scan" in report
+
+    def test_empty_snapshot(self):
+        assert render_report([]) == "(no metrics recorded)\n"
+
+    def test_report_renders_from_archived_jsonl(self):
+        """The table can be rebuilt from a file without a live registry."""
+        text = to_jsonl(populated_registry().samples())
+        assert "scan.items" in render_report(from_jsonl(text))
+
+
+class TestWriteSnapshot:
+    def test_format_inferred_from_suffix(self, tmp_path):
+        obs.enable()
+        obs.counter("scan.items").inc(3)
+        jsonl = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        table = tmp_path / "metrics.txt"
+        obs.write_snapshot(str(jsonl))
+        obs.write_snapshot(str(prom))
+        obs.write_snapshot(str(table))
+        assert from_jsonl(jsonl.read_text(encoding="utf-8"))
+        assert "# TYPE scan_items counter" in prom.read_text(encoding="utf-8")
+        assert "counters" in table.read_text(encoding="utf-8")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown snapshot format"):
+            obs.write_snapshot(str(tmp_path / "metrics.bin"), format="xml")

@@ -1,0 +1,104 @@
+"""The instrumented pipeline emits the paper-claim metrics end to end.
+
+These are the live gauges the observability layer exists for:
+
+* ``vhll.cell_list_len`` — Lemma 4's O(log ω) expected cell-list length,
+  checked here across two windows an order of magnitude apart;
+* ``exact.interactions`` / ``approx.interactions`` — one-pass scan
+  throughput (every interaction touched exactly once per build);
+* ``oracle.query_seconds`` — Figure 4's query-latency distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro.obs as obs
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.oracle import ExactInfluenceOracle
+from repro.datasets.generators import email_network
+
+
+@pytest.fixture(scope="module")
+def log():
+    return email_network(80, 1_500, 4_000, rng=5)
+
+
+def _cell_len_means(samples):
+    return {
+        sample["labels"]["window"]: sample["mean"]
+        for sample in samples
+        if sample["name"] == "vhll.cell_list_len" and sample["count"]
+    }
+
+
+def test_lemma4_cell_list_length_grows_at_most_logarithmically(log):
+    """Mean (t, ρ) cell-list length must track O(log ω), not O(ω)."""
+    obs.enable()
+    narrow, wide = 50, 1_600
+    ApproxIRS.from_log(log, window=narrow, precision=7)
+    ApproxIRS.from_log(log, window=wide, precision=7)
+
+    means = _cell_len_means(obs.snapshot(include_spans=False))
+    assert set(means) == {str(narrow), str(wide)}
+    mean_narrow, mean_wide = means[str(narrow)], means[str(wide)]
+    assert mean_narrow >= 1.0
+    # A 32x wider window may grow the Pareto frontier by at most the log
+    # of the ratio (with Lemma 4's constant absorbed), never linearly.
+    ratio = wide / narrow
+    assert mean_wide <= mean_narrow * math.log2(ratio)
+    assert mean_wide < mean_narrow * ratio / 4
+
+
+def test_scan_counters_count_each_interaction_once(log):
+    obs.enable()
+    ExactIRS.from_log(log, window=200)
+    ApproxIRS.from_log(log, window=200, precision=7)
+    snapshot = {
+        (s["name"], tuple(sorted(s["labels"].items()))): s
+        for s in obs.snapshot(include_spans=False)
+    }
+    assert snapshot[("exact.interactions", ())]["value"] == len(log)
+    assert snapshot[("approx.interactions", ())]["value"] == len(log)
+    throughput = snapshot[
+        ("exact.interactions_per_second", (("window", "200"),))
+    ]
+    assert throughput["value"] > 0
+    assert snapshot[("exact.entries", ())]["value"] > 0
+
+
+def test_oracle_query_latency_histogram_fills(log):
+    obs.enable()
+    index = ExactIRS.from_log(log, window=200)
+    oracle = ExactInfluenceOracle.from_index(index)
+    seeds = sorted(index.nodes)[:5]
+    for _ in range(3):
+        oracle.spread(seeds)
+    samples = [
+        s
+        for s in obs.snapshot(include_spans=False)
+        if s["name"] == "oracle.query_seconds" and s["count"]
+    ]
+    assert samples, "no oracle query latency recorded"
+    (spread_sample,) = [
+        s for s in samples if s["labels"].get("op") == "spread"
+    ]
+    assert spread_sample["labels"]["kind"] == "exact"
+    assert spread_sample["count"] == 3
+    seed_sizes = [
+        s
+        for s in obs.snapshot(include_spans=False)
+        if s["name"] == "oracle.query_seeds" and s["count"]
+    ]
+    assert seed_sizes and seed_sizes[0]["mean"] == len(seeds)
+
+
+def test_build_spans_cover_both_index_kinds(log):
+    obs.enable()
+    ExactIRS.from_log(log, window=200)
+    ApproxIRS.from_log(log, window=200, precision=7)
+    names = {record["name"] for record in obs.span_records()}
+    assert {"exact.build", "approx.build"} <= names

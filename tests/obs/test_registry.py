@@ -1,0 +1,215 @@
+"""Counter/gauge/histogram semantics, labels, and registry behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_COUNT_BUCKETS,
+    OBS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    ObsState,
+    exponential_buckets,
+)
+from repro.obs.registry import NOOP_TIMER, HistogramTimer, Metric
+
+
+@pytest.fixture
+def registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.enable()
+    return reg
+
+
+class TestState:
+    def test_starts_disabled(self):
+        reg = MetricRegistry()
+        assert isinstance(reg.state, ObsState)
+        assert not reg.state.enabled
+        assert not reg.enabled
+
+    def test_enable_disable_toggle_the_shared_state(self):
+        reg = MetricRegistry()
+        counter = reg.counter("c")
+        reg.enable()
+        counter.inc()
+        reg.disable()
+        counter.inc()  # ignored: recording is off again
+        assert counter.value == 1.0
+
+    def test_enable_from_env(self):
+        assert MetricRegistry().enable_from_env({OBS_ENV: "1"})
+        assert MetricRegistry().enable_from_env({OBS_ENV: "json"})
+        assert not MetricRegistry().enable_from_env({OBS_ENV: "0"})
+        assert not MetricRegistry().enable_from_env({OBS_ENV: ""})
+        assert not MetricRegistry().enable_from_env({})
+
+
+class TestCounter:
+    def test_disabled_inc_is_a_no_op(self):
+        reg = MetricRegistry()
+        counter = reg.counter("scan.items")
+        counter.inc()
+        counter.inc(25)
+        assert counter.value == 0.0
+
+    def test_enabled_inc_accumulates(self, registry):
+        counter = registry.counter("scan.items")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("scan.items")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels_return_one_child_per_combination(self, registry):
+        counter = registry.counter("scan.items")
+        a = counter.labels(window=10)
+        b = counter.labels(window=20)
+        assert a is counter.labels(window=10)
+        assert a is not b
+        assert counter.labels() is counter
+        a.inc(3)
+        b.inc(5)
+        assert a.value == 3.0 and b.value == 5.0 and counter.value == 0.0
+        assert a.label_values == {"window": "10"}
+
+    def test_untouched_parent_with_children_is_not_exported(self, registry):
+        counter = registry.counter("scan.items")
+        counter.labels(window=10).inc()
+        exported = counter.samples()
+        assert [s["labels"] for s in exported] == [{"window": "10"}]
+
+    def test_leaf_with_no_children_exports_even_at_zero(self, registry):
+        counter = registry.counter("scan.items")
+        assert [s["value"] for s in counter.samples()] == [0.0]
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("index.entries")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+    def test_disabled_updates_ignored(self):
+        gauge = MetricRegistry().gauge("index.entries")
+        gauge.set(10)
+        assert gauge.value == 0.0
+
+    def test_labelled_children_are_independent(self, registry):
+        gauge = registry.gauge("index.entries")
+        gauge.labels(kind="exact").set(7)
+        gauge.labels(kind="sketch").set(9)
+        values = {
+            tuple(s["labels"].items()): s["value"] for s in gauge.samples()
+        }
+        assert values == {(("kind", "exact"),): 7.0, (("kind", "sketch"),): 9.0}
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max_mean(self, registry):
+        hist = registry.histogram("sizes", buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(13.0)
+        assert hist.minimum == 0.5
+        assert hist.maximum == 8.0
+        assert hist.mean == pytest.approx(13.0 / 4)
+
+    def test_sample_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("sizes", buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        (sample,) = hist.samples()
+        # The +Inf tail is implicit: exporters derive it from ``count``.
+        assert sample["buckets"] == [[1.0, 1], [2.0, 2], [4.0, 3]]
+        assert sample["count"] == 4
+
+    def test_disabled_observe_ignored(self):
+        hist = MetricRegistry().histogram("sizes")
+        hist.observe(1.0)
+        assert hist.count == 0
+
+    def test_time_returns_noop_singleton_while_disabled(self):
+        hist = MetricRegistry().histogram("latency")
+        assert hist.time() is NOOP_TIMER
+        with hist.time() as timer:
+            pass
+        assert timer.elapsed_ns == 0
+        assert hist.count == 0
+
+    def test_time_observes_elapsed_when_enabled(self, registry):
+        hist = registry.histogram("latency")
+        with hist.time() as timer:
+            sum(range(1000))
+        assert isinstance(timer, HistogramTimer)
+        assert timer.elapsed_ns > 0
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(timer.elapsed_ns / 1e9)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_family(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_conflicts_raise(self, registry):
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("a")
+        registry.histogram("h")
+        with pytest.raises(ValueError, match="already registered as histogram"):
+            registry.counter("h")
+
+    def test_metric_kinds(self, registry):
+        assert isinstance(registry.counter("a"), Counter)
+        assert isinstance(registry.gauge("b"), Gauge)
+        assert isinstance(registry.histogram("c"), Histogram)
+        for metric in registry.metrics():
+            assert isinstance(metric, Metric)
+
+    def test_get_returns_registered_or_none(self, registry):
+        counter = registry.counter("a")
+        assert registry.get("a") is counter
+        assert registry.get("missing") is None
+
+    def test_reset_zeroes_but_keeps_handles_working(self, registry):
+        counter = registry.counter("a")
+        child = counter.labels(k="v")
+        child.inc(3)
+        registry.reset()
+        assert child.value == 0.0
+        child.inc()
+        assert child.value == 1.0
+
+    def test_samples_sorted_by_name_then_labels(self, registry):
+        registry.counter("b").inc()
+        registry.counter("a").labels(z=2).inc()
+        registry.counter("a").labels(z=1).inc()
+        names = [(s["name"], s["labels"]) for s in registry.samples()]
+        assert names == [("a", {"z": "1"}), ("a", {"z": "2"}), ("b", {})]
+
+
+class TestExponentialBuckets:
+    def test_geometric_series(self):
+        assert exponential_buckets(1, 2, 5) == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 5)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1, 5)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 2, 0)
+
+    def test_default_count_buckets_are_increasing(self):
+        assert list(DEFAULT_COUNT_BUCKETS) == sorted(DEFAULT_COUNT_BUCKETS)

@@ -1,0 +1,96 @@
+"""Tracing spans: no-op path, nesting, and histogram integration."""
+
+from __future__ import annotations
+
+import repro.obs as obs
+from repro.obs import NOOP_SPAN, MetricRegistry, SpanRecorder
+from repro.obs.spans import MAX_SPAN_RECORDS, Span
+
+
+class TestDisabledPath:
+    def test_span_is_the_shared_noop_singleton(self):
+        recorder = SpanRecorder(MetricRegistry())
+        first = recorder.span("build")
+        second = recorder.span("query", window=10)
+        assert first is NOOP_SPAN and second is NOOP_SPAN
+        with first as active:
+            assert active.duration_ns == 0
+        assert recorder.records() == []
+
+    def test_module_level_span_uses_the_global_registry(self):
+        with obs.span("build") as span:
+            pass
+        assert span is NOOP_SPAN
+        assert obs.span_records() == []
+
+
+class TestEnabledPath:
+    def test_span_records_duration_and_thread(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        with recorder.span("build", window=10) as span:
+            assert isinstance(span, Span)
+        (record,) = recorder.records()
+        assert record["type"] == "span"
+        assert record["name"] == "build"
+        assert record["labels"] == {"window": "10"}
+        assert record["duration_ns"] > 0
+        assert record["parent"] is None
+        assert record["thread"]
+        assert span.duration_seconds == span.duration_ns / 1e9
+
+    def test_nested_spans_record_their_parent(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = recorder.records()
+        assert inner["name"] == "inner" and inner["parent"] == "outer"
+        assert outer["name"] == "outer" and outer["parent"] is None
+
+    def test_durations_feed_the_seconds_histogram(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        with recorder.span("build", window=10):
+            pass
+        hist = registry.get("build_seconds")
+        assert hist is not None
+        (sample,) = hist.samples()
+        assert sample["labels"] == {"window": "10"}
+        assert sample["count"] == 1
+
+    def test_record_buffer_is_bounded(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        for index in range(MAX_SPAN_RECORDS + 10):
+            with recorder.span("tick"):
+                pass
+        assert len(recorder.records()) == MAX_SPAN_RECORDS
+
+    def test_reset_drops_records(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        with recorder.span("build"):
+            pass
+        recorder.reset()
+        assert recorder.records() == []
+
+
+class TestModuleApi:
+    def test_enable_span_snapshot_roundtrip(self):
+        obs.enable()
+        with obs.span("stage", phase="scan"):
+            pass
+        records = obs.span_records()
+        assert [r["name"] for r in records] == ["stage"]
+        snapshot = obs.snapshot()
+        assert any(s["type"] == "span" for s in snapshot)
+        assert any(s["name"] == "stage_seconds" for s in snapshot)
+        without = obs.snapshot(include_spans=False)
+        assert all(s["type"] != "span" for s in without)

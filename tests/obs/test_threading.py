@@ -1,0 +1,105 @@
+"""Concurrent metric updates: the registry must not lose counts."""
+
+from __future__ import annotations
+
+import threading
+
+import repro.obs as obs
+from repro.core.streaming import StreamingExactIndex, StreamingSketchIndex
+from repro.obs import MetricRegistry
+
+
+class TestRawMetrics:
+    def test_concurrent_counter_increments_are_not_lost(self):
+        registry = MetricRegistry()
+        registry.enable()
+        counter = registry.counter("race.probe")
+        per_thread, threads = 10_000, 4
+
+        def work() -> None:
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == per_thread * threads
+
+    def test_concurrent_label_creation_yields_one_child(self):
+        registry = MetricRegistry()
+        registry.enable()
+        counter = registry.counter("race.labels")
+        children = []
+        barrier = threading.Barrier(8)
+
+        def resolve() -> None:
+            barrier.wait()
+            children.append(counter.labels(shard=1))
+
+        workers = [threading.Thread(target=resolve) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(child is children[0] for child in children)
+
+
+class TestStreamingIndexes:
+    def test_two_threads_of_streaming_events_sum_exactly(self):
+        """Each thread owns an index; the metric families are shared."""
+        obs.enable()
+        events_per_thread = 500
+
+        def drive(kind: str) -> None:
+            if kind == "exact":
+                index = StreamingExactIndex(window=50)
+            else:
+                index = StreamingSketchIndex(window=50, precision=6)
+            for step in range(events_per_thread):
+                index.process(f"u{step % 17}", f"v{step % 13}", step)
+
+        workers = [
+            threading.Thread(target=drive, args=("exact",)),
+            threading.Thread(target=drive, args=("sketch",)),
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        samples = {
+            tuple(sorted(s["labels"].items())): s
+            for s in obs.snapshot(include_spans=False)
+            if s["name"] == "streaming.events"
+        }
+        assert samples[(("kind", "exact"),)]["value"] == events_per_thread
+        assert samples[(("kind", "sketch"),)]["value"] == events_per_thread
+
+        latencies = [
+            s
+            for s in obs.snapshot(include_spans=False)
+            if s["name"] == "streaming.event_seconds" and s["count"]
+        ]
+        assert sum(s["count"] for s in latencies) == 2 * events_per_thread
+
+    def test_spans_in_threads_keep_separate_stacks(self):
+        obs.enable()
+
+        def trace(name: str) -> None:
+            with obs.span(name):
+                with obs.span(f"{name}.inner"):
+                    pass
+
+        workers = [
+            threading.Thread(target=trace, args=(f"t{i}",)) for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        by_name = {r["name"]: r for r in obs.span_records()}
+        for i in range(4):
+            assert by_name[f"t{i}.inner"]["parent"] == f"t{i}"
+            assert by_name[f"t{i}"]["parent"] is None

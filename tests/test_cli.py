@@ -4,6 +4,7 @@ import io
 
 import pytest
 
+import repro.obs as obs
 from repro.cli import build_parser, main
 from repro.core.interactions import InteractionLog
 
@@ -158,6 +159,73 @@ class TestReport:
     def test_unknown_section_is_error(self):
         code, _ = run_cli(["report", "--scale", "0.03", "--sections", "tableX"])
         assert code == 1
+
+
+class TestObs:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_obs_flag_appends_report(self, log_file):
+        code, text = run_cli(
+            ["--obs", "topk", log_file, "--k", "1", "--window-percent", "100"]
+        )
+        assert code == 0
+        assert "top-1 seeds" in text
+        assert "counters" in text
+        assert "exact.interactions" in text or "approx.interactions" in text
+
+    def test_obs_output_writes_snapshot(self, log_file, tmp_path):
+        snapshot = str(tmp_path / "metrics.jsonl")
+        code, text = run_cli(
+            ["--obs-output", snapshot, "stats", log_file]
+        )
+        assert code == 0
+        assert "wrote metrics snapshot" in text
+        samples = obs.from_jsonl(open(snapshot, encoding="utf-8").read())
+        assert any(sample["type"] == "counter" for sample in samples)
+
+    def test_obs_report_renders_all_formats(self, log_file, tmp_path):
+        snapshot = str(tmp_path / "metrics.jsonl")
+        run_cli(
+            [
+                "--obs-output",
+                snapshot,
+                "topk",
+                log_file,
+                "--k",
+                "1",
+                "--window-percent",
+                "100",
+            ]
+        )
+        code, table = run_cli(["obs", "report", "--input", snapshot])
+        assert code == 0
+        assert "counters" in table and "histograms" in table
+        code, prom = run_cli(
+            ["obs", "report", "-i", snapshot, "--format", "prometheus"]
+        )
+        assert code == 0
+        assert "# TYPE" in prom
+        code, jsonl = run_cli(
+            ["obs", "report", "-i", snapshot, "--format", "jsonl"]
+        )
+        assert code == 0
+        assert obs.from_jsonl(jsonl)
+
+    def test_obs_report_missing_file_is_error(self):
+        code, _ = run_cli(["obs", "report", "-i", "/nonexistent/metrics.jsonl"])
+        assert code == 1
+
+    def test_without_flags_nothing_is_recorded(self, log_file):
+        code, text = run_cli(["stats", log_file])
+        assert code == 0
+        assert "counters" not in text
+        assert not obs.enabled()
 
 
 class TestSpread:

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.utils.timer import Timer, time_call
 
 
@@ -20,6 +22,22 @@ class TestTimer:
             time.sleep(0.005)
         assert timer.elapsed >= 0.004
         assert timer.elapsed != first or first >= 0.0
+
+    def test_elapsed_ns_matches_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed_ns >= 4_000_000
+        assert timer.elapsed == pytest.approx(timer.elapsed_ns / 1e9)
+
+    def test_reentrant_enter_raises(self):
+        timer = Timer()
+        with timer:
+            with pytest.raises(RuntimeError, match="already running"):
+                timer.__enter__()
+        # The failed re-entry must not corrupt the completed measurement.
+        assert timer.elapsed_ns >= 0
+        with timer:  # and the timer stays reusable afterwards
+            pass
 
 
 class TestTimeCall:
