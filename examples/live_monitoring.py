@@ -16,7 +16,11 @@ per-event latency, index size — and the run ends with the full metrics
 snapshot table.
 
 Run:  python examples/live_monitoring.py
+      python examples/live_monitoring.py --profile   # + per-day hot frames
 """
+
+import argparse
+from typing import Dict
 
 import repro.obs as obs
 from repro.core.multiwindow import MultiWindowIRS
@@ -26,9 +30,23 @@ from repro.datasets import cascade_network
 WINDOW = 900  # channel budget in ticks (~1 day at 1000 ticks/day)
 DAY = 1_000
 
+#: Per-frame self-nanoseconds at the previous report, so each day prints
+#: only the time spent *since* the last one.
+PROFILE_BASELINE: Dict[str, int] = {}
 
-def main() -> None:
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time to frames and print each day's top-5",
+    )
+    args = parser.parse_args(argv)
+
     obs.enable()
+    if args.profile:
+        obs.profile.enable()
     log = cascade_network(
         num_nodes=3_000,
         num_interactions=12_000,
@@ -46,11 +64,13 @@ def main() -> None:
     next_report = DAY
     for source, target, time in log:
         while time >= next_report:
-            report(exact, sketch, next_report)
+            report(exact, sketch, next_report, profiling=args.profile)
             next_report += DAY
         exact.process(source, target, time)
         sketch.process(source, target, time)
-    report(exact, sketch, next_report)
+    report(exact, sketch, next_report, profiling=args.profile)
+    if args.profile:
+        obs.profile.disable()
 
     # Offline drill-down: how does the most exposed account's influencer
     # count depend on the channel budget?  One multi-window build answers
@@ -83,7 +103,30 @@ def streaming_metrics_line() -> str:
     return f"{events:.0f} events, {mean_us:.1f} us/event"
 
 
-def report(exact: StreamingExactIndex, sketch: StreamingSketchIndex, at: int) -> None:
+def hot_frame_lines(limit: int = 5) -> str:
+    """The hottest frames since the previous report, one per line."""
+    current = obs.profile.collect().self_by_frame()
+    deltas = {
+        frame: ns - PROFILE_BASELINE.get(frame, 0)
+        for frame, ns in current.items()
+    }
+    PROFILE_BASELINE.clear()
+    PROFILE_BASELINE.update(current)
+    ranked = sorted(deltas.items(), key=lambda item: (-item[1], item[0]))
+    hottest = [(frame, ns) for frame, ns in ranked if ns > 0][:limit]
+    if not hottest:
+        return "    (no frames profiled this day)"
+    return "\n".join(
+        f"    {ns / 1e6:8.2f} ms  {frame}" for frame, ns in hottest
+    )
+
+
+def report(
+    exact: StreamingExactIndex,
+    sketch: StreamingSketchIndex,
+    at: int,
+    profiling: bool = False,
+) -> None:
     counts = [
         (exact.influencer_count(node), node)
         for node in list(exact.nodes)
@@ -98,6 +141,8 @@ def report(exact: StreamingExactIndex, sketch: StreamingSketchIndex, at: int) ->
         f"tick {at:>6} — most-exposed accounts: {rendered or '(none yet)'} "
         f"[{streaming_metrics_line()}]"
     )
+    if profiling:
+        print(hot_frame_lines())
 
 
 if __name__ == "__main__":

@@ -200,8 +200,9 @@ def memory_experiment(
         row: Dict[str, object] = {"dataset": name}
         for percent in window_percents:
             window = log.window_from_percent(percent)
-            index = ApproxIRS.from_log(log, window, precision=precision)
-            index_bytes = accounted_bytes(index)
+            with obs.span("experiment.memory", dataset=name, window_pct=percent):
+                index = ApproxIRS.from_log(log, window, precision=precision)
+                index_bytes = accounted_bytes(index)
             _SUMMARY_BYTES.labels(dataset=name, window_pct=f"{percent:g}").set(
                 index_bytes
             )
@@ -265,9 +266,10 @@ def oracle_query_experiment(
     rows = []
     for count in seed_counts:
         seeds = [nodes[generator.randrange(len(nodes))] for _ in range(count)]
-        with Timer() as timer:
-            for _ in range(repetitions):
-                oracle.spread(seeds)
+        with obs.span("experiment.oracle_query", dataset=dataset, num_seeds=count):
+            with Timer() as timer:
+                for _ in range(repetitions):
+                    oracle.spread(seeds)
         rows.append(
             {
                 "dataset": dataset,

@@ -12,7 +12,9 @@ Four subcommands cover the typical workflow end to end:
   claim ("how could u have influenced v within ω?");
 * ``report``   — regenerate the full experiment report (markdown) at a
   chosen scale;
-* ``obs``      — render a recorded metrics snapshot (``obs report``).
+* ``obs``      — observability utilities: render a recorded metrics
+  snapshot (``obs report``) or compare two benchmark snapshots under the
+  regression gate (``obs diff``).
 
 Every command reads/writes the whitespace ``source target time`` edge-list
 format of :meth:`repro.core.interactions.InteractionLog.read`.
@@ -21,6 +23,10 @@ Observability: pass ``--obs`` to any command to record metrics for the
 invocation and print the human-readable report afterwards, or
 ``--obs-output PATH`` to write the snapshot to a file instead (format
 inferred from the suffix, see :func:`repro.obs.write_snapshot`).
+``--profile`` additionally installs the span-integrated wall-time
+profiler and prints the hottest frames after the command
+(``--profile-output`` writes the flamegraph-ready collapsed stacks);
+``--memprof`` attributes tracemalloc deltas to the span tree.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from typing import List, Optional, Sequence
 
 import repro.obs as obs
 from repro.analysis.experiments import ALL_METHODS, select_seeds
-from repro.obs import from_jsonl, render_report, to_jsonl, to_prometheus
+from repro.obs import from_jsonl, render_report, to_jsonl, to_prometheus, trend
 from repro.core.interactions import InteractionLog
 from repro.datasets.catalog import dataset_names, load_dataset
 from repro.simulation.spread import estimate_spread
@@ -71,6 +77,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the metrics snapshot to PATH (implies --obs; "
         ".prom -> prometheus text, .txt -> table, else JSON lines)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="install the span-integrated wall-time profiler for this "
+        "invocation and print the hottest frames afterwards",
+    )
+    parser.add_argument(
+        "--profile-output",
+        default="",
+        metavar="PATH",
+        help="write the collapsed-stack profile (flamegraph input) to PATH "
+        "(implies --profile)",
+    )
+    parser.add_argument(
+        "--memprof",
+        action="store_true",
+        help="attribute tracemalloc allocation deltas to the span tree and "
+        "print the breakdown afterwards",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -152,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs_cmd = commands.add_parser(
-        "obs", help="observability utilities (render recorded snapshots)"
+        "obs", help="observability utilities (snapshots, trend diffs)"
     )
     obs_actions = obs_cmd.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_actions.add_parser(
@@ -166,6 +191,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table", "prometheus", "jsonl"),
         default="table",
         help="output rendering (default: table)",
+    )
+    obs_diff = obs_actions.add_parser(
+        "diff",
+        help="compare two BENCH_<n>.json benchmark snapshots "
+        "(exit 1 on regression unless --warn-only)",
+    )
+    obs_diff.add_argument("old", help="baseline bench snapshot (JSON)")
+    obs_diff.add_argument("new", help="candidate bench snapshot (JSON)")
+    obs_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=trend.DEFAULT_THRESHOLD,
+        help="relative median slowdown tolerated before the IQR rule is "
+        "consulted (default: %(default)s)",
+    )
+    obs_diff.add_argument(
+        "--format",
+        choices=("table", "json", "markdown"),
+        default="table",
+        help="output rendering (default: table)",
+    )
+    obs_diff.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI soft gate)",
     )
 
     return parser
@@ -259,8 +309,27 @@ def _command_report(args: argparse.Namespace, out) -> int:
 
 
 def _command_obs(args: argparse.Namespace, out) -> int:
-    with open(args.input, "r", encoding="utf-8") as handle:
-        samples = from_jsonl(handle.read())
+    if args.obs_command == "diff":
+        return _command_obs_diff(args, out)
+    return _command_obs_report(args, out)
+
+
+def _command_obs_report(args: argparse.Namespace, out) -> int:
+    # Every failure mode surfaces as a one-line ValueError naming the
+    # file; main() turns it into `error: ...` with exit code 1.
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ValueError(
+            f"{args.input}: cannot read metrics snapshot: {exc.strerror or exc}"
+        ) from exc
+    try:
+        samples = from_jsonl(text)
+    except ValueError as exc:
+        raise ValueError(f"{args.input}: {exc}") from exc
+    if not samples:
+        raise ValueError(f"{args.input}: empty metrics snapshot (no samples)")
     if args.format == "table":
         print(render_report(samples), file=out, end="")
     elif args.format == "prometheus":
@@ -270,14 +339,30 @@ def _command_obs(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_obs_diff(args: argparse.Namespace, out) -> int:
+    old = trend.load_bench_snapshot(args.old)
+    new = trend.load_bench_snapshot(args.new)
+    diff = trend.diff_snapshots(old, new, threshold=args.threshold)
+    print(trend.render_diff(diff, args.format), file=out, end="")
+    if trend.has_regressions(diff) and not args.warn_only:
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     output = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     obs_active = bool(args.obs or args.obs_output)
+    profile_active = bool(args.profile or args.profile_output)
+    memprof_active = bool(args.memprof)
     if obs_active:
         obs.enable()
+    if profile_active:
+        obs.profile.enable()  # implies obs.enable() for the span tree
+    if memprof_active:
+        obs.memprof.enable()
     handlers = {
         "generate": _command_generate,
         "stats": _command_stats,
@@ -292,11 +377,28 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if obs_active and code == 0:
+    if profile_active:
+        obs.profile.disable()
+    if memprof_active:
+        obs.memprof.disable()
+    if code != 0:
+        return code
+    if obs_active:
         if args.obs_output:
             obs.write_snapshot(args.obs_output)
             print(f"wrote metrics snapshot to {args.obs_output}", file=output)
         else:
             print(file=output)
             print(render_report(obs.snapshot()), file=output, end="")
+    if profile_active:
+        profile_report = obs.profile.collect()
+        if args.profile_output:
+            with open(args.profile_output, "w", encoding="utf-8") as handle:
+                handle.write(profile_report.collapsed())
+            print(f"wrote collapsed-stack profile to {args.profile_output}", file=output)
+        print(file=output)
+        print(profile_report.top_table(), file=output, end="")
+    if memprof_active:
+        print(file=output)
+        print(obs.memprof.collect().table(), file=output, end="")
     return code

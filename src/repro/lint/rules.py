@@ -20,6 +20,11 @@ rationale):
   ``time.time()``, …) outside ``repro/utils/timer.py`` and
   ``repro/obs/``; all measurement flows through the instrumented layer
   so observability sees every clock read.
+* **R007** — no mutable default argument values (``{}``, ``[]``,
+  ``set()``, comprehensions, …).  Defaults are evaluated once at
+  definition time, so a mutable default is shared across every call —
+  state leaking between exporter invocations is exactly how label sets
+  bleed between metric families.  Use ``None`` and materialise inside.
 
 Rules are plain classes registered in :data:`REGISTRY`; adding a rule is
 subclassing :class:`Rule` and decorating with :func:`register`.
@@ -41,6 +46,7 @@ __all__ = [
     "NoMutationAfterSort",
     "PublicApiFullyAnnotated",
     "NoDirectTimingCalls",
+    "NoMutableDefaultArguments",
 ]
 
 ALGORITHM_SCOPES = frozenset({"core", "sketch", "simulation", "baselines"})
@@ -599,3 +605,87 @@ class PublicApiFullyAnnotated(Rule):
         if func.returns is None:
             missing.append("return")
         return missing
+
+
+# ----------------------------------------------------------------------
+# R007 — no mutable default argument values
+# ----------------------------------------------------------------------
+
+
+@register
+class NoMutableDefaultArguments(Rule):
+    """Flag mutable literals and constructor calls used as defaults."""
+
+    rule_id = "R007"
+    name = "no-mutable-default-arguments"
+    description = (
+        "Default values are evaluated once at function definition, so a "
+        "mutable default ({}, [], set(), dict(), comprehensions) is shared "
+        "across every call; default to None and build the value inside."
+    )
+    scopes = None  # everywhere under src/repro
+
+    #: Literal/comprehension nodes that always build a fresh mutable value.
+    MUTABLE_NODES = (
+        ast.Dict,
+        ast.List,
+        ast.Set,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+    )
+
+    #: Constructor calls that build a mutable container.
+    MUTABLE_CALLS = frozenset(
+        {
+            "dict",
+            "list",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.deque",
+            "collections.Counter",
+            "collections.OrderedDict",
+            "defaultdict",
+            "deque",
+            "Counter",
+            "OrderedDict",
+        }
+    )
+
+    def check(self, ctx) -> list:
+        violations = []
+        for func in _walk_functions(ctx.tree):
+            args = func.args
+            defaults = list(args.defaults) + [
+                default for default in args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                described = self._describe_mutable(default)
+                if described is not None:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            default,
+                            f"mutable default {described} in {func.name}() is "
+                            "evaluated once and shared across calls; default "
+                            "to None and construct the value in the body",
+                        )
+                    )
+        return violations
+
+    def _describe_mutable(self, default: ast.AST) -> Optional[str]:
+        """A short description of the default when mutable, else ``None``."""
+        if isinstance(default, ast.Dict):
+            return "{...}" if default.keys else "{}"
+        if isinstance(default, ast.List):
+            return "[...]" if default.elts else "[]"
+        if isinstance(default, ast.Set):
+            return "{...}"
+        if isinstance(default, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return "a comprehension"
+        if isinstance(default, ast.Call):
+            name = _callee_name(default)
+            if name is not None and name in self.MUTABLE_CALLS:
+                return f"{name}(...)" if (default.args or default.keywords) else f"{name}()"
+        return None

@@ -25,7 +25,7 @@ JSON-lines / Prometheus / table renderings.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.obs.export import from_jsonl, render_report, to_jsonl, to_prometheus
 from repro.obs.registry import (
@@ -39,7 +39,7 @@ from repro.obs.registry import (
     ObsState,
     exponential_buckets,
 )
-from repro.obs.spans import NOOP_SPAN, SpanHandle, SpanRecorder
+from repro.obs.spans import NOOP_SPAN, SpanHandle, SpanListener, SpanRecorder
 
 __all__ = [
     "OBS_ENV",
@@ -51,6 +51,7 @@ __all__ = [
     "MetricRegistry",
     "ObsState",
     "SpanRecorder",
+    "SpanListener",
     "NOOP_SPAN",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
@@ -63,6 +64,7 @@ __all__ = [
     "histogram",
     "span",
     "span_records",
+    "current_span_path",
     "snapshot",
     "write_snapshot",
     "reset",
@@ -70,6 +72,9 @@ __all__ = [
     "from_jsonl",
     "to_prometheus",
     "render_report",
+    "profile",
+    "memprof",
+    "trend",
 ]
 
 #: The process-wide registry every instrumented module records into.
@@ -121,6 +126,11 @@ def span_records() -> List[dict]:
     return _SPANS.records()
 
 
+def current_span_path() -> Tuple[str, ...]:
+    """Names of this thread's active spans, outermost first."""
+    return _SPANS.current_path()
+
+
 def snapshot(include_spans: bool = True) -> List[dict]:
     """Every metric sample (plus span records) as plain dicts."""
     samples = REGISTRY.samples()
@@ -162,6 +172,19 @@ def write_snapshot(path: str, format: Optional[str] = None) -> None:
         handle.write(text)
 
 
+# The profiling layers live in submodules (obs.profile / obs.memprof /
+# obs.trend); bind them to this registry's span recorder so profiler
+# attributions group under the live span tree, and so enabling either
+# profiler also turns the span/metric layer on.
+from repro.obs import memprof, profile, trend  # noqa: E402  (needs _SPANS)
+
+profile._bind(_SPANS.current_path, REGISTRY.enable)
+memprof._bind(_SPANS, REGISTRY.enable)
+
 # Environment opt-in, mirroring repro.lint.contracts: REPRO_OBS=1 in the
-# environment turns recording on for the whole process at import time.
+# environment turns recording on for the whole process at import time;
+# REPRO_OBS_PROFILE=1 / REPRO_OBS_MEMPROF=1 additionally install the
+# wall-time / memory profilers (each implies REPRO_OBS).
 REGISTRY.enable_from_env()
+profile.enable_from_env()
+memprof.enable_from_env()

@@ -20,7 +20,7 @@ Formats:
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["to_jsonl", "from_jsonl", "to_prometheus", "render_report"]
 
@@ -52,8 +52,8 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
-def _prom_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
-    merged = {**labels, **extra}
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = {**labels, **(extra or {})}
     if not merged:
         return ""
     body = ",".join(

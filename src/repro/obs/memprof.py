@@ -1,0 +1,260 @@
+"""Span-attributed memory profiling via :mod:`tracemalloc`.
+
+Table 4's ``summary.bytes`` gauge reports *how much* memory a sketch
+index holds; this module answers *who allocated it*.  While enabled, a
+span listener reads ``tracemalloc.get_traced_memory()`` at every span
+boundary and attributes the net allocation delta to the span's path, so
+the same tree that structures wall time (``exact.build``,
+``approx.build``, ``experiment.memory`` …) also structures bytes:
+
+* **net bytes** — allocations minus frees across the span, children
+  included (the span's retained footprint contribution);
+* **self bytes** — net minus the net of its direct children (what the
+  span's own code allocated).
+
+Reading the traced counters is a few hundred nanoseconds — cheap enough
+for span boundaries, which are rare by design — while full
+``tracemalloc`` snapshots (per-line statistics) would cost milliseconds;
+the span tree keeps attribution useful without that price.
+
+Enablement mirrors the profiler: ``REPRO_OBS_MEMPROF=1`` at import
+(via :mod:`repro.obs`), ``obs.memprof.enable()``, or the CLI
+``--memprof`` flag.  Enabling starts ``tracemalloc`` when it is not
+already tracing and stops it again on disable (only if we started it).
+Disabled, nothing is registered and span exits pay only the listener
+truthiness check they already paid.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import tracemalloc
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import Span, SpanListener, SpanRecorder
+
+__all__ = [
+    "MEMPROF_ENV",
+    "SpanMemoryProfiler",
+    "MemoryReport",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "collect",
+    "enable_from_env",
+]
+
+MEMPROF_ENV = "REPRO_OBS_MEMPROF"
+
+SpanPath = Tuple[str, ...]
+
+
+class _PathStats:
+    """Accumulated allocation statistics for one span path."""
+
+    __slots__ = ("count", "net_bytes", "self_bytes", "peak_delta")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.net_bytes = 0
+        self.self_bytes = 0
+        self.peak_delta = 0
+
+
+class _OpenSpan:
+    """Bookkeeping for one active span on one thread."""
+
+    __slots__ = ("start_bytes", "children_net")
+
+    def __init__(self, start_bytes: int) -> None:
+        self.start_bytes = start_bytes
+        self.children_net = 0
+
+
+class SpanMemoryProfiler(SpanListener):
+    """Span listener that folds tracemalloc deltas into a span tree."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._stats: Dict[SpanPath, _PathStats] = {}
+
+    # -- listener callbacks ---------------------------------------------
+    def _open(self) -> List[_OpenSpan]:
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = []
+            self._local.frames = frames
+        return frames
+
+    def span_started(self, span: Span, path: SpanPath) -> None:
+        current, _peak = tracemalloc.get_traced_memory()
+        self._open().append(_OpenSpan(current))
+
+    def span_finished(self, span: Span, path: SpanPath) -> None:
+        frames = self._open()
+        if not frames:
+            return  # span began before the profiler was enabled
+        frame = frames.pop()
+        current, peak = tracemalloc.get_traced_memory()
+        net = current - frame.start_bytes
+        if frames:
+            frames[-1].children_net += net
+        with self._lock:
+            stats = self._stats.get(path)
+            if stats is None:
+                stats = self._stats[path] = _PathStats()
+            stats.count += 1
+            stats.net_bytes += net
+            stats.self_bytes += net - frame.children_net
+            stats.peak_delta = max(stats.peak_delta, peak - frame.start_bytes)
+
+    # -- snapshots ------------------------------------------------------
+    def collect(self) -> "MemoryReport":
+        """An immutable snapshot of the accumulated span statistics."""
+        with self._lock:
+            entries = {
+                path: {
+                    "count": stats.count,
+                    "net_bytes": stats.net_bytes,
+                    "self_bytes": stats.self_bytes,
+                    "peak_delta": stats.peak_delta,
+                }
+                for path, stats in self._stats.items()
+            }
+        return MemoryReport(entries)
+
+    def reset(self) -> None:
+        """Drop accumulated statistics (open spans keep their baselines)."""
+        with self._lock:
+            self._stats = {}
+
+
+class MemoryReport:
+    """Per-span-path allocation statistics, frozen at collect time."""
+
+    def __init__(self, entries: Dict[SpanPath, Dict[str, int]]) -> None:
+        self.entries = dict(entries)
+
+    def net_by_span(self) -> Dict[str, int]:
+        """Net allocated bytes per span name (nested spans included).
+
+        Sums the *self* bytes of every path containing the name, so a
+        parent credited through its children is not double-counted.
+        """
+        totals: Dict[str, int] = {}
+        for path, stats in self.entries.items():
+            for name in set(path):
+                totals[name] = totals.get(name, 0) + stats["self_bytes"]
+        return totals
+
+    def total_net_bytes(self) -> int:
+        """Net bytes attributed across the whole span tree."""
+        return sum(stats["self_bytes"] for stats in self.entries.values())
+
+    def table(self, limit: int = 20) -> str:
+        """A human-readable per-path table, largest net first."""
+        from repro.obs.export import _render_table
+
+        ranked = sorted(
+            self.entries.items(),
+            key=lambda item: (-item[1]["net_bytes"], item[0]),
+        )[:limit]
+        rows = [
+            [
+                " > ".join(path) or "(root)",
+                str(stats["count"]),
+                _format_bytes(stats["net_bytes"]),
+                _format_bytes(stats["self_bytes"]),
+                _format_bytes(stats["peak_delta"]),
+            ]
+            for path, stats in ranked
+        ]
+        if not rows:
+            return "(no memory attributions)\n"
+        return "\n".join(
+            ["span memory attribution (tracemalloc)"]
+            + _render_table(("span path", "count", "net", "self", "peak_over_start"), rows)
+        ) + "\n"
+
+
+def _format_bytes(value: int) -> str:
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if magnitude < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{sign}{magnitude}B"
+            return f"{sign}{magnitude:.1f}{unit}"
+        magnitude /= 1024.0
+    return f"{sign}{magnitude:.1f}GiB"  # pragma: no cover - unreachable
+
+
+#: The process-wide span memory profiler (registered while enabled).
+MEMPROFILER = SpanMemoryProfiler()
+
+_RECORDER: Optional[SpanRecorder] = None
+_ON_ENABLE = None
+_ENABLED = False
+_STARTED_TRACEMALLOC = False
+
+
+def _bind(recorder: SpanRecorder, on_enable) -> None:
+    """Internal wiring called once by :mod:`repro.obs` at import."""
+    global _RECORDER, _ON_ENABLE
+    _RECORDER = recorder
+    _ON_ENABLE = on_enable
+
+
+def enable() -> None:
+    """Start span-attributed memory profiling (also enables obs)."""
+    global _ENABLED, _STARTED_TRACEMALLOC
+    if _ENABLED:
+        return
+    if _ON_ENABLE is not None:
+        _ON_ENABLE()
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_TRACEMALLOC = True
+    if _RECORDER is not None:
+        _RECORDER.add_listener(MEMPROFILER)
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Stop profiling; tracemalloc is stopped only if we started it."""
+    global _ENABLED, _STARTED_TRACEMALLOC
+    if not _ENABLED:
+        return
+    if _RECORDER is not None:
+        _RECORDER.remove_listener(MEMPROFILER)
+    if _STARTED_TRACEMALLOC and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_TRACEMALLOC = False
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    """True while the span memory profiler is registered."""
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop the process-wide profiler's accumulated statistics."""
+    MEMPROFILER.reset()
+
+
+def collect() -> MemoryReport:
+    """Snapshot the process-wide profiler's statistics."""
+    return MEMPROFILER.collect()
+
+
+def enable_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Enable when ``REPRO_OBS_MEMPROF`` is set non-empty and ≠ ``0``."""
+    env = os.environ if environ is None else environ
+    if env.get(MEMPROF_ENV, "") not in ("", "0"):
+        enable()
+        return True
+    return False

@@ -1,0 +1,468 @@
+"""Deterministic, span-integrated wall-time profiler.
+
+Answers the question the metric layer cannot: *where inside a span does
+the time go?*  While enabled, every Python function entry/exit in the
+process is observed (``sys.setprofile``; ``sys.monitoring`` — PEP 669 —
+on 3.12+), wall time is attributed to the innermost ``repro.*`` frame on
+the stack, and each attribution is grouped under the path of obs spans
+active at that moment (e.g. ``exact.build → summary.merge``).  Because
+the profiler is event-driven rather than sampling, the attribution is
+deterministic: two runs of the same seeded workload produce the same
+stacks, differing only in the measured nanoseconds.
+
+Exports:
+
+* **collapsed-stack text** (:meth:`ProfileReport.collapsed`) — one line
+  per distinct ``span-path;frame-stack`` with its self-time, directly
+  consumable by ``flamegraph.pl`` / speedscope;
+* **top-N table** (:meth:`ProfileReport.top_table`) — per-frame self and
+  cumulative seconds;
+* **span totals** (:meth:`ProfileReport.span_totals`) — wall time
+  grouped by enclosing span, comparable against the ``{span}_seconds``
+  histograms the span layer records (the acceptance cross-check in
+  ``tests/obs/test_profile.py``).
+
+Discipline mirrors the metric layer: nothing is installed until
+``REPRO_OBS_PROFILE=1`` (read once at import by :mod:`repro.obs`),
+``obs.profile.enable()`` or the CLI ``--profile`` flag; disabling
+uninstalls the hooks entirely, so the disabled path costs nothing.
+
+The instrumentation layer itself (``repro/obs/``, ``repro/lint/``) is
+excluded from the attributed stacks — profiling the profiler would only
+add noise under every span.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "PROFILE_ENV",
+    "PROFILE_BACKEND_ENV",
+    "SpanProfiler",
+    "ProfileReport",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "collect",
+    "enable_from_env",
+    "default_backend",
+]
+
+PROFILE_ENV = "REPRO_OBS_PROFILE"
+PROFILE_BACKEND_ENV = "REPRO_OBS_PROFILE_BACKEND"
+
+#: Path fragments whose frames are *never* attributed: the observability
+#: and lint layers are measurement machinery, not measured code.
+EXCLUDED_FRAGMENTS = ("repro/obs/", "repro/lint/")
+
+#: Stack entry standing in for time spent outside any ``repro.*`` frame.
+UNTRACKED = "(untracked)"
+
+_perf_ns = time.perf_counter_ns
+
+ProfileKey = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+def default_backend() -> str:
+    """``"monitoring"`` on 3.12+ (PEP 669), else ``"setprofile"``.
+
+    Overridable via ``REPRO_OBS_PROFILE_BACKEND`` for A/B runs.
+    """
+    override = os.environ.get(PROFILE_BACKEND_ENV, "")
+    if override in ("setprofile", "monitoring"):
+        return override
+    if sys.version_info >= (3, 12) and hasattr(sys, "monitoring"):
+        return "monitoring"
+    return "setprofile"
+
+
+class _ThreadState:
+    """Per-thread profiling state: the tracked stack and its counters."""
+
+    __slots__ = ("stack", "entered", "last_ns", "data", "busy")
+
+    def __init__(self) -> None:
+        #: Frame keys of the ``repro.*`` frames currently on the stack.
+        self.stack: List[str] = []
+        #: One flag per *observed* call: did it push onto ``stack``?
+        self.entered: List[bool] = []
+        self.last_ns = 0
+        #: (span path, frame stack) → accumulated self nanoseconds.
+        self.data: Dict[ProfileKey, int] = {}
+        #: Re-entrancy guard for the monitoring backend.
+        self.busy = False
+
+
+class SpanProfiler:
+    """Attributes wall time to ``repro.*`` frames grouped by obs span.
+
+    Parameters
+    ----------
+    span_provider:
+        Zero-argument callable returning the current thread's active span
+        names, outermost first (the span recorder's ``current_path``).
+        Defaults to "no spans", which still yields a plain profile.
+    """
+
+    def __init__(self, span_provider: Optional[Callable[[], Tuple[str, ...]]] = None) -> None:
+        self._span_provider = span_provider or (lambda: ())
+        self._local = threading.local()
+        self._states: List[_ThreadState] = []
+        self._lock = threading.Lock()
+        self._key_cache: Dict[object, Optional[str]] = {}
+        self._enabled = False
+        self._backend = ""
+        self._monitoring_registered = False
+
+    # -- configuration --------------------------------------------------
+    def set_span_provider(self, provider: Callable[[], Tuple[str, ...]]) -> None:
+        """Rebind the span-path source (used by :mod:`repro.obs` wiring)."""
+        self._span_provider = provider
+
+    @property
+    def enabled(self) -> bool:
+        """True while the profiling hooks are installed."""
+        return self._enabled
+
+    @property
+    def backend(self) -> str:
+        """The active backend name, or ``""`` while disabled."""
+        return self._backend if self._enabled else ""
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self, backend: Optional[str] = None) -> None:
+        """Install the profiling hooks (idempotent)."""
+        if self._enabled:
+            return
+        chosen = backend or default_backend()
+        if chosen not in ("setprofile", "monitoring"):
+            raise ValueError(
+                f"unknown profile backend {chosen!r}; use 'setprofile' or 'monitoring'"
+            )
+        if chosen == "monitoring" and not hasattr(sys, "monitoring"):
+            chosen = "setprofile"
+        self._backend = chosen
+        self._enabled = True
+        if chosen == "monitoring":
+            self._install_monitoring()
+        else:
+            threading.setprofile(self._setprofile_callback)
+            sys.setprofile(self._setprofile_callback)
+
+    def disable(self) -> None:
+        """Uninstall the hooks; accumulated data stays until :meth:`reset`."""
+        if not self._enabled:
+            return
+        # Flush the open interval on this thread so time since the last
+        # event is not lost (other threads flush at their next event,
+        # which never comes — acceptable for a process-wide stop).
+        state = self._state()
+        self._attribute(state, _perf_ns())
+        if self._backend == "monitoring":
+            self._uninstall_monitoring()
+        else:
+            sys.setprofile(None)
+            threading.setprofile(None)
+        self._enabled = False
+        self._backend = ""
+
+    def reset(self) -> None:
+        """Drop all accumulated attributions (hooks stay as they are)."""
+        with self._lock:
+            for state in self._states:
+                state.data = {}
+                state.last_ns = _perf_ns()
+
+    def collect(self) -> "ProfileReport":
+        """A merged snapshot of every thread's attributions so far."""
+        if self._enabled:
+            # Close the current interval so recent work is included.
+            self._attribute(self._state(), _perf_ns())
+        merged: Dict[ProfileKey, int] = {}
+        with self._lock:
+            states = list(self._states)
+        for state in states:
+            for key, ns in state.data.items():
+                merged[key] = merged.get(key, 0) + ns
+        return ProfileReport(merged)
+
+    # -- shared core ----------------------------------------------------
+    def _state(self) -> _ThreadState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = _ThreadState()
+            state.last_ns = _perf_ns()
+            self._local.state = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    def _attribute(self, state: _ThreadState, now: int) -> None:
+        elapsed = now - state.last_ns
+        state.last_ns = now
+        if elapsed <= 0:
+            return
+        span_path = self._span_provider()
+        if not span_path and not state.stack:
+            return  # idle outside any repro frame or span: not ours
+        key = (span_path, tuple(state.stack))
+        data = state.data
+        data[key] = data.get(key, 0) + elapsed
+
+    def _frame_key(self, code: object) -> Optional[str]:
+        """``repro.core.summary:IRSSummary.merge`` for repro code, else None."""
+        cached = self._key_cache.get(code, False)
+        if cached is not False:
+            return cached  # type: ignore[return-value]
+        filename = getattr(code, "co_filename", "") or ""
+        normalized = filename.replace("\\", "/")
+        key: Optional[str] = None
+        if "/repro/" in normalized and not any(
+            fragment in normalized for fragment in EXCLUDED_FRAGMENTS
+        ):
+            tail = normalized.rsplit("/repro/", 1)[1]
+            module = "repro." + tail[:-3].replace("/", ".") if tail.endswith(".py") else "repro"
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            qualname = getattr(code, "co_qualname", None) or getattr(code, "co_name", "?")
+            key = f"{module}:{qualname}"
+        self._key_cache[code] = key
+        return key
+
+    # -- sys.setprofile backend -----------------------------------------
+    # The callbacks deliberately do NOT exclude their own execution time
+    # from the attributed intervals: the span histograms this profile is
+    # validated against measure real wall time *with* the profiler
+    # installed, so the overhead must land in the same buckets (it
+    # accrues to whichever frame was running, like cProfile's totals).
+
+    def _setprofile_callback(self, frame, event: str, arg: object) -> None:
+        if event == "call":
+            state = self._state()
+            self._attribute(state, _perf_ns())
+            key = self._frame_key(frame.f_code)
+            if key is not None:
+                state.stack.append(key)
+                state.entered.append(True)
+            else:
+                state.entered.append(False)
+        elif event == "return":
+            state = self._state()
+            self._attribute(state, _perf_ns())
+            if state.entered and state.entered.pop() and state.stack:
+                state.stack.pop()
+        # c_call / c_return / c_exception: the Python stack is unchanged,
+        # so the elapsed time simply accrues to the current frame at the
+        # next Python-level event.
+
+    # -- sys.monitoring backend (3.12+) ---------------------------------
+    def _install_monitoring(self) -> None:
+        mon = sys.monitoring
+        mon.use_tool_id(mon.PROFILER_ID, "repro-obs-profile")
+        events = mon.events
+        mon.register_callback(mon.PROFILER_ID, events.PY_START, self._mon_push)
+        mon.register_callback(mon.PROFILER_ID, events.PY_RESUME, self._mon_push)
+        mon.register_callback(mon.PROFILER_ID, events.PY_THROW, self._mon_push)
+        mon.register_callback(mon.PROFILER_ID, events.PY_RETURN, self._mon_pop)
+        mon.register_callback(mon.PROFILER_ID, events.PY_YIELD, self._mon_pop)
+        mon.register_callback(mon.PROFILER_ID, events.PY_UNWIND, self._mon_pop)
+        mon.set_events(
+            mon.PROFILER_ID,
+            events.PY_START
+            | events.PY_RESUME
+            | events.PY_THROW
+            | events.PY_RETURN
+            | events.PY_YIELD
+            | events.PY_UNWIND,
+        )
+        self._monitoring_registered = True
+
+    def _uninstall_monitoring(self) -> None:
+        if not self._monitoring_registered:
+            return
+        mon = sys.monitoring
+        mon.set_events(mon.PROFILER_ID, 0)
+        for event in (
+            mon.events.PY_START,
+            mon.events.PY_RESUME,
+            mon.events.PY_THROW,
+            mon.events.PY_RETURN,
+            mon.events.PY_YIELD,
+            mon.events.PY_UNWIND,
+        ):
+            mon.register_callback(mon.PROFILER_ID, event, None)
+        mon.free_tool_id(mon.PROFILER_ID)
+        self._monitoring_registered = False
+
+    def _mon_push(self, code, _offset, *_rest: object) -> None:
+        state = self._state()
+        if state.busy:
+            return
+        state.busy = True
+        try:
+            self._attribute(state, _perf_ns())
+            key = self._frame_key(code)
+            if key is not None:
+                state.stack.append(key)
+                state.entered.append(True)
+            else:
+                state.entered.append(False)
+        finally:
+            state.busy = False
+
+    def _mon_pop(self, code, _offset, *_rest: object) -> None:
+        state = self._state()
+        if state.busy:
+            return
+        state.busy = True
+        try:
+            self._attribute(state, _perf_ns())
+            if state.entered and state.entered.pop() and state.stack:
+                state.stack.pop()
+        finally:
+            state.busy = False
+
+
+class ProfileReport:
+    """An immutable snapshot of profiler attributions.
+
+    ``entries`` maps ``(span path, frame stack)`` — both tuples of
+    strings — to accumulated self-time nanoseconds.
+    """
+
+    def __init__(self, entries: Dict[ProfileKey, int]) -> None:
+        self.entries: Dict[ProfileKey, int] = dict(entries)
+
+    @property
+    def total_ns(self) -> int:
+        """Total attributed nanoseconds across all stacks."""
+        return sum(self.entries.values())
+
+    def span_totals(self) -> Dict[str, int]:
+        """Cumulative nanoseconds per span name (nested time included).
+
+        A span's total sums every attribution whose span path contains
+        that name, matching the cumulative semantics of the
+        ``{span}_seconds`` histograms recorded by the span layer.
+        """
+        totals: Dict[str, int] = {}
+        for (span_path, _stack), ns in self.entries.items():
+            for name in set(span_path):
+                totals[name] = totals.get(name, 0) + ns
+        return totals
+
+    def self_by_frame(self) -> Dict[str, int]:
+        """Self nanoseconds per frame key (leaf-of-stack attribution)."""
+        totals: Dict[str, int] = {}
+        for (_span_path, stack), ns in self.entries.items():
+            leaf = stack[-1] if stack else UNTRACKED
+            totals[leaf] = totals.get(leaf, 0) + ns
+        return totals
+
+    def cumulative_by_frame(self) -> Dict[str, int]:
+        """Cumulative nanoseconds per frame key (anywhere-on-stack)."""
+        totals: Dict[str, int] = {}
+        for (_span_path, stack), ns in self.entries.items():
+            for frame in set(stack) or {UNTRACKED}:
+                totals[frame] = totals.get(frame, 0) + ns
+        return totals
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``span;…;frame;… <microseconds>`` lines.
+
+        Span-path components lead each line, so a flamegraph groups the
+        frames under their enclosing spans.  Lines are sorted for
+        deterministic output.
+        """
+        lines = []
+        for (span_path, stack), ns in self.entries.items():
+            frames = list(span_path) + (list(stack) if stack else [UNTRACKED])
+            lines.append((";".join(frames), ns // 1_000))
+        lines.sort()
+        return "\n".join(f"{stack} {us}" for stack, us in lines) + ("\n" if lines else "")
+
+    def top_table(self, limit: int = 15) -> str:
+        """A ``self/cumulative`` seconds table of the hottest frames."""
+        from repro.obs.export import _render_table
+
+        self_ns = self.self_by_frame()
+        cumulative_ns = self.cumulative_by_frame()
+        ranked = sorted(self_ns.items(), key=lambda item: (-item[1], item[0]))[:limit]
+        rows = [
+            [
+                frame,
+                f"{ns / 1e9:.6f}",
+                f"{cumulative_ns.get(frame, ns) / 1e9:.6f}",
+            ]
+            for frame, ns in ranked
+        ]
+        if not rows:
+            return "(no profile samples)\n"
+        header = f"top {len(rows)} frames by self time"
+        return "\n".join(
+            [header] + _render_table(("frame", "self_s", "cum_s"), rows)
+        ) + "\n"
+
+    def top_frames(self, limit: int = 5) -> List[Tuple[str, int]]:
+        """The ``limit`` hottest frames as ``(frame, self_ns)`` pairs."""
+        ranked = sorted(
+            self.self_by_frame().items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:limit]
+
+
+#: The process-wide profiler; :mod:`repro.obs` binds its span provider.
+PROFILER = SpanProfiler()
+
+#: Hook invoked by :func:`enable` so turning profiling on also turns the
+#: span/metric layer on (bound to ``REGISTRY.enable`` by ``repro.obs``).
+_ON_ENABLE: Optional[Callable[[], None]] = None
+
+
+def _bind(span_provider: Callable[[], Tuple[str, ...]], on_enable: Callable[[], None]) -> None:
+    """Internal wiring called once by :mod:`repro.obs` at import."""
+    global _ON_ENABLE
+    PROFILER.set_span_provider(span_provider)
+    _ON_ENABLE = on_enable
+
+
+def enable(backend: Optional[str] = None) -> None:
+    """Install the process-wide profiler (also enables the obs layer)."""
+    if _ON_ENABLE is not None:
+        _ON_ENABLE()
+    PROFILER.enable(backend)
+
+
+def disable() -> None:
+    """Uninstall the process-wide profiler (obs layer is left as-is)."""
+    PROFILER.disable()
+
+
+def is_enabled() -> bool:
+    """True while the process-wide profiler is installed."""
+    return PROFILER.enabled
+
+
+def reset() -> None:
+    """Drop the process-wide profiler's accumulated attributions."""
+    PROFILER.reset()
+
+
+def collect() -> ProfileReport:
+    """Snapshot the process-wide profiler's attributions."""
+    return PROFILER.collect()
+
+
+def enable_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Enable when ``REPRO_OBS_PROFILE`` is set non-empty and ≠ ``0``."""
+    env = os.environ if environ is None else environ
+    if env.get(PROFILE_ENV, "") not in ("", "0"):
+        enable()
+        return True
+    return False

@@ -10,6 +10,12 @@ Like the metrics, the disabled path is a single attribute check:
 ``span(...)`` returns a shared no-op singleton while observability is
 off, and the active-span stack is thread-local so concurrent pipelines
 nest correctly.
+
+Listeners (:meth:`SpanRecorder.add_listener`) observe span boundaries —
+the memory profiler attributes tracemalloc deltas this way — and the
+wall-time profiler reads :meth:`SpanRecorder.current_path` to group
+frames under the enclosing span.  Both hooks cost one truthiness check
+per real span and nothing at all while observability is off.
 """
 
 from __future__ import annotations
@@ -17,11 +23,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricRegistry
 
-__all__ = ["Span", "SpanRecorder", "NOOP_SPAN"]
+__all__ = ["Span", "SpanRecorder", "SpanListener", "NOOP_SPAN"]
 
 #: Retain at most this many finished span records (oldest dropped first).
 MAX_SPAN_RECORDS = 4096
@@ -62,11 +68,15 @@ class Span:
         stack = self._recorder._stack()
         self._parent = stack[-1].name if stack else None
         stack.append(self)
+        if self._recorder._listeners:
+            self._recorder._notify_started(self)
         self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.duration_ns = time.perf_counter_ns() - self._start_ns
+        if self._recorder._listeners:
+            self._recorder._notify_finished(self)
         stack = self._recorder._stack()
         if stack and stack[-1] is self:
             stack.pop()
@@ -82,6 +92,21 @@ class Span:
 SpanHandle = Union[Span, _NoopSpan]
 
 
+class SpanListener:
+    """Observer interface for span boundaries (subclass what you need).
+
+    Both callbacks receive the span and its *path* — the names of every
+    active span on the current thread, root first, including the span
+    itself.  ``span_finished`` fires before the span leaves the stack.
+    """
+
+    def span_started(self, span: Span, path: Tuple[str, ...]) -> None:
+        """Called immediately after ``span`` joins the active stack."""
+
+    def span_finished(self, span: Span, path: Tuple[str, ...]) -> None:
+        """Called when ``span`` exits, while it is still on the stack."""
+
+
 class SpanRecorder:
     """Creates spans and retains a bounded buffer of finished records."""
 
@@ -90,6 +115,8 @@ class SpanRecorder:
         self._records: Deque[dict] = deque(maxlen=MAX_SPAN_RECORDS)
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Read lock-free on the span hot path; mutated copy-on-write.
+        self._listeners: Tuple[SpanListener, ...] = ()
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -97,6 +124,37 @@ class SpanRecorder:
             stack = []
             self._local.stack = stack
         return stack
+
+    def current_path(self) -> Tuple[str, ...]:
+        """Names of this thread's active spans, outermost first."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return ()
+        return tuple(span.name for span in stack)
+
+    # -- listeners ------------------------------------------------------
+    def add_listener(self, listener: SpanListener) -> None:
+        """Register a span-boundary observer (idempotent)."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = self._listeners + (listener,)
+
+    def remove_listener(self, listener: SpanListener) -> None:
+        """Deregister ``listener``; unknown listeners are ignored."""
+        with self._lock:
+            self._listeners = tuple(
+                existing for existing in self._listeners if existing is not listener
+            )
+
+    def _notify_started(self, span: Span) -> None:
+        path = self.current_path()
+        for listener in self._listeners:
+            listener.span_started(span, path)
+
+    def _notify_finished(self, span: Span) -> None:
+        path = self.current_path()
+        for listener in self._listeners:
+            listener.span_finished(span, path)
 
     def span(self, name: str, **labels: object) -> "SpanHandle":
         """A context-manager span; the no-op singleton while disabled."""

@@ -1,0 +1,335 @@
+"""Performance-trend snapshots (``BENCH_<n>.json``) and regression gates.
+
+The paper's headline claims are performance claims (Fig. 3 build
+runtime, Fig. 4 query time, Table 4 memory); the benchmark suite
+measures them, but a measurement nobody compares is not a gate.  This
+module turns each benchmark session into a schema-versioned snapshot and
+gives CI a noise-tolerant comparator:
+
+* :func:`bench_snapshot` / :func:`write_bench_snapshot` — collect
+  per-benchmark ``median`` / ``IQR`` timings (from the pytest-benchmark
+  session, see ``benchmarks/conftest.py``), key obs counters, and a
+  machine fingerprint into one JSON document;
+* :func:`load_bench_snapshot` — read + validate a snapshot, with clean
+  one-line errors for missing files, truncated JSON and schema
+  mismatches;
+* :func:`diff_snapshots` / :func:`render_diff` — compare two snapshots
+  under a relative-threshold **and** IQR-overlap rule, render the result
+  as a table, JSON or markdown, and report whether any regression
+  survived both rules (the CI exit code).
+
+Noise rule
+----------
+A benchmark regresses only when *both* hold:
+
+1. ``new.median > old.median * (1 + threshold)`` (default +10 %), and
+2. the interquartile ranges ``[q1, q3]`` of old and new do **not**
+   overlap.
+
+Rule 2 is what makes the gate honest on shared CI runners: a noisy
+benchmark has wide, overlapping IQRs, and a genuine slowdown separates
+them.  Improvements are reported symmetrically but never gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_PREFIX",
+    "DEFAULT_THRESHOLD",
+    "machine_fingerprint",
+    "bench_snapshot",
+    "write_bench_snapshot",
+    "load_bench_snapshot",
+    "validate_snapshot",
+    "diff_snapshots",
+    "render_diff",
+    "has_regressions",
+]
+
+#: Version marker of the snapshot document.  Bump the suffix on breaking
+#: field changes; the comparator refuses to diff mismatched versions.
+BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA_PREFIX = "repro-bench/"
+
+#: Default relative slowdown (on the median) that rule 1 tolerates.
+DEFAULT_THRESHOLD = 0.10
+
+#: Numeric timing fields every benchmark entry must carry (seconds).
+TIMING_FIELDS = ("median", "q1", "q3", "iqr")
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Where the numbers came from: interpreter, platform, CPU count."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def bench_snapshot(
+    benchmarks: Iterable[Mapping[str, object]],
+    counters: Optional[Mapping[str, float]] = None,
+    context: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble a snapshot document.
+
+    ``benchmarks`` yields mappings with at least ``name`` plus the
+    :data:`TIMING_FIELDS` (seconds) and optionally ``rounds`` / ``mean``
+    / ``stddev``.  ``counters`` carries key obs counter values (e.g.
+    ``exact.interactions``); ``context`` is free-form run metadata
+    (dataset names, scale, benchmark selection).
+    """
+    entries: List[Dict[str, object]] = []
+    for bench in benchmarks:
+        entry: Dict[str, object] = {"name": str(bench["name"])}
+        for field in TIMING_FIELDS:
+            entry[field] = float(bench[field])  # type: ignore[arg-type]
+        for optional in ("rounds", "mean", "stddev", "group"):
+            if optional in bench and bench[optional] is not None:
+                entry[optional] = bench[optional]
+        entries.append(entry)
+    entries.sort(key=lambda entry: entry["name"])  # type: ignore[arg-type,return-value]
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "context": dict(context or {}),
+        "benchmarks": entries,
+        "counters": {str(k): float(v) for k, v in (counters or {}).items()},
+    }
+
+
+def write_bench_snapshot(path: str, snapshot: Mapping[str, object]) -> None:
+    """Validate and write ``snapshot`` to ``path`` as indented JSON."""
+    validate_snapshot(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_snapshot(snapshot: object) -> None:
+    """Raise ``ValueError`` (one line) when ``snapshot`` is malformed."""
+    if not isinstance(snapshot, dict):
+        raise ValueError("bench snapshot must be a JSON object")
+    schema = snapshot.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(BENCH_SCHEMA_PREFIX):
+        raise ValueError(
+            f"not a bench snapshot: missing/foreign schema marker {schema!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {schema!r}; this build reads {BENCH_SCHEMA!r}"
+        )
+    benchmarks = snapshot.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError("bench snapshot field 'benchmarks' must be a list")
+    seen = set()
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ValueError(f"benchmarks[{index}] must be an object with a 'name'")
+        name = entry["name"]
+        if name in seen:
+            raise ValueError(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        for field in TIMING_FIELDS:
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"benchmarks[{index}] ({name!r}): field {field!r} must be a "
+                    f"non-negative number, got {value!r}"
+                )
+    counters = snapshot.get("counters", {})
+    if not isinstance(counters, dict):
+        raise ValueError("bench snapshot field 'counters' must be an object")
+
+
+def load_bench_snapshot(path: str) -> Dict[str, object]:
+    """Read and validate a snapshot file.
+
+    Every failure mode — missing file, unreadable JSON, wrong schema —
+    surfaces as a single-line ``ValueError`` naming the file, so the CLI
+    can print it verbatim and exit 1.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ValueError(f"{path}: cannot read bench snapshot: {exc.strerror or exc}") from exc
+    if not text.strip():
+        raise ValueError(f"{path}: empty bench snapshot")
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: truncated or invalid JSON: {exc}") from exc
+    try:
+        validate_snapshot(snapshot)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+#: Per-benchmark comparison verdicts.
+VERDICT_REGRESSION = "regression"
+VERDICT_IMPROVEMENT = "improvement"
+VERDICT_OK = "ok"
+VERDICT_ADDED = "added"
+VERDICT_REMOVED = "removed"
+
+
+def _iqr_overlap(old: Mapping[str, object], new: Mapping[str, object]) -> bool:
+    """True when the [q1, q3] ranges of ``old`` and ``new`` intersect."""
+    return float(new["q1"]) <= float(old["q3"]) and float(old["q1"]) <= float(new["q3"])
+
+
+def diff_snapshots(
+    old: Mapping[str, object],
+    new: Mapping[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Compare two snapshots benchmark by benchmark.
+
+    Returns a report dict: ``rows`` (one per benchmark, sorted by name,
+    each with old/new medians, the ratio and a verdict), ``counters``
+    (relative drift of shared obs counters, informational only) and
+    ``threshold``.  Schema compatibility must already hold
+    (:func:`load_bench_snapshot` enforces it for files; for in-memory
+    documents call :func:`validate_snapshot` yourself).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    old_entries = {entry["name"]: entry for entry in old["benchmarks"]}  # type: ignore[index,union-attr]
+    new_entries = {entry["name"]: entry for entry in new["benchmarks"]}  # type: ignore[index,union-attr]
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(old_entries) | set(new_entries)):
+        before = old_entries.get(name)
+        after = new_entries.get(name)
+        if before is None:
+            rows.append(
+                {
+                    "name": name,
+                    "verdict": VERDICT_ADDED,
+                    "new_median": float(after["median"]),  # type: ignore[index]
+                }
+            )
+            continue
+        if after is None:
+            rows.append(
+                {
+                    "name": name,
+                    "verdict": VERDICT_REMOVED,
+                    "old_median": float(before["median"]),
+                }
+            )
+            continue
+        old_median = float(before["median"])
+        new_median = float(after["median"])
+        ratio = new_median / old_median if old_median > 0 else float("inf")
+        overlap = _iqr_overlap(before, after)
+        if new_median > old_median * (1.0 + threshold) and not overlap:
+            verdict = VERDICT_REGRESSION
+        elif new_median < old_median * (1.0 - threshold) and not overlap:
+            verdict = VERDICT_IMPROVEMENT
+        else:
+            verdict = VERDICT_OK
+        rows.append(
+            {
+                "name": name,
+                "verdict": verdict,
+                "old_median": old_median,
+                "new_median": new_median,
+                "ratio": ratio,
+                "iqr_overlap": overlap,
+            }
+        )
+    old_counters: Mapping[str, float] = old.get("counters", {})  # type: ignore[assignment]
+    new_counters: Mapping[str, float] = new.get("counters", {})  # type: ignore[assignment]
+    counter_rows = []
+    for name in sorted(set(old_counters) & set(new_counters)):
+        before_value = float(old_counters[name])
+        after_value = float(new_counters[name])
+        counter_rows.append(
+            {
+                "name": name,
+                "old": before_value,
+                "new": after_value,
+                "ratio": after_value / before_value if before_value else float("inf"),
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "threshold": threshold,
+        "rows": rows,
+        "counters": counter_rows,
+    }
+
+
+def has_regressions(diff: Mapping[str, object]) -> bool:
+    """True when any row of a :func:`diff_snapshots` report regressed."""
+    return any(row["verdict"] == VERDICT_REGRESSION for row in diff["rows"])  # type: ignore[index,union-attr]
+
+
+def _ratio_text(row: Mapping[str, object]) -> str:
+    ratio = row.get("ratio")
+    if not isinstance(ratio, float) or ratio == float("inf"):
+        return "-"
+    return f"{(ratio - 1.0) * 100.0:+.1f}%"
+
+
+def _seconds(value: object) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value:.6f}"
+
+
+def render_diff(diff: Mapping[str, object], format: str = "table") -> str:
+    """Render a :func:`diff_snapshots` report (``table``/``json``/``markdown``)."""
+    if format == "json":
+        return json.dumps(diff, indent=2, sort_keys=True) + "\n"
+    rows: Sequence[Mapping[str, object]] = diff["rows"]  # type: ignore[assignment]
+    threshold = diff.get("threshold", DEFAULT_THRESHOLD)
+    cells = [
+        [
+            str(row["name"]),
+            _seconds(row.get("old_median")),
+            _seconds(row.get("new_median")),
+            _ratio_text(row),
+            str(row["verdict"]),
+        ]
+        for row in rows
+    ]
+    headers = ("benchmark", "old_median_s", "new_median_s", "delta", "verdict")
+    regressions = sum(1 for row in rows if row["verdict"] == VERDICT_REGRESSION)
+    summary = (
+        f"{len(cells)} benchmarks compared, {regressions} regression(s) "
+        f"at threshold +{float(threshold) * 100.0:g}% with disjoint IQRs"
+    )
+    if format == "markdown":
+        lines = ["| " + " | ".join(headers) + " |"]
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        lines.extend("| " + " | ".join(row) + " |" for row in cells)
+        lines.append("")
+        lines.append(summary)
+        return "\n".join(lines) + "\n"
+    if format == "table":
+        from repro.obs.export import _render_table
+
+        if not cells:
+            return "(no benchmarks to compare)\n"
+        return "\n".join(_render_table(headers, cells) + ["", summary]) + "\n"
+    raise ValueError(f"unknown diff format {format!r}; use table, json or markdown")

@@ -12,6 +12,7 @@ from repro.lint import LintEngine, all_rules, get_rule, lint_source
 from repro.lint.cli import main
 from repro.lint.rules import (
     NoDirectTimingCalls,
+    NoMutableDefaultArguments,
     NoMutationAfterSort,
     NoWallClockOrUnseededRandom,
     PublicApiFullyAnnotated,
@@ -284,6 +285,56 @@ def test_r006_exempts_the_instrumented_layer():
 
 
 # ----------------------------------------------------------------------
+# R007 — no mutable default argument values
+# ----------------------------------------------------------------------
+
+
+R007_POSITIVE = """
+def render(labels, extra={}):
+    return {**labels, **extra}
+
+
+def collect(items=[], *, seen=set(), index=dict(), tail=[x for x in ()]):
+    items.append(len(seen))
+    return items, index, tail
+"""
+
+R007_NEGATIVE = """
+def render(labels, extra=None, sep=",", limit=10, shape=(3, 4)):
+    merged = {**labels, **(extra or {})}
+    return sep.join(merged), limit, shape
+
+
+def collect(items=None, *, seen=frozenset(), name=""):
+    materialised = list(items or [])
+    return materialised, seen, name
+"""
+
+
+def test_r007_flags_mutable_defaults_and_kw_defaults():
+    violations = lint_with("R007", R007_POSITIVE)
+    assert ids_of(violations) == ["R007"]
+    assert len(violations) == 5
+    messages = " ".join(violation.message for violation in violations)
+    assert "extra={}" not in messages  # message names the default, not the source
+    assert "{}" in messages and "[]" in messages
+    assert "set()" in messages and "dict()" in messages
+    assert "comprehension" in messages
+    assert all("shared across calls" in v.message for v in violations)
+
+
+def test_r007_accepts_immutable_and_none_defaults():
+    rule = get_rule("R007")
+    assert isinstance(rule, NoMutableDefaultArguments)
+    assert lint_with("R007", R007_NEGATIVE) == []
+
+
+def test_r007_applies_in_every_subpackage():
+    assert lint_with("R007", R007_POSITIVE, subpackage="obs")
+    assert lint_with("R007", R007_POSITIVE, subpackage="core")
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 
@@ -351,6 +402,7 @@ def test_rule_registry_is_complete():
         "R003",
         "R004",
         "R006",
+        "R007",
         "R101",
         "R102",
         "R103",
@@ -363,6 +415,7 @@ def test_rule_registry_is_complete():
     assert isinstance(get_rule("R003"), NoMutationAfterSort)
     assert isinstance(get_rule("R004"), PublicApiFullyAnnotated)
     assert isinstance(get_rule("R006"), NoDirectTimingCalls)
+    assert isinstance(get_rule("R007"), NoMutableDefaultArguments)
     with pytest.raises(KeyError, match="unknown rule"):
         get_rule("R999")
     assert [rule.rule_id for rule in select_rules(["R003", "R001"])] == ["R001", "R003"]

@@ -9,8 +9,16 @@ import repro.obs as obs
 
 @pytest.fixture(autouse=True)
 def clean_registry():
+    obs.profile.disable()
+    obs.memprof.disable()
     obs.disable()
     obs.reset()
+    obs.profile.reset()
+    obs.memprof.reset()
     yield
+    obs.profile.disable()
+    obs.memprof.disable()
     obs.disable()
     obs.reset()
+    obs.profile.reset()
+    obs.memprof.reset()

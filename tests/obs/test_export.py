@@ -71,6 +71,60 @@ class TestPrometheus:
         assert '"span"' not in text
 
 
+class TestPrometheusEdgeCases:
+    def test_label_values_escape_quotes_backslashes_and_newlines(self):
+        registry = MetricRegistry()
+        registry.enable()
+        registry.counter("scan.items").labels(
+            dataset='em"ail', path="a\\b", note="two\nlines"
+        ).inc()
+        text = to_prometheus(registry.samples())
+        assert 'dataset="em\\"ail"' in text
+        assert 'path="a\\\\b"' in text
+        assert 'note="two\\nlines"' in text
+        assert "\ntwo" not in text  # the newline never splits the series line
+
+    def test_help_text_is_escaped_once_per_family(self):
+        registry = MetricRegistry()
+        registry.enable()
+        counter = registry.counter("scan.items", 'scans "quoted"\nsecond line')
+        counter.labels(window=1).inc()
+        counter.labels(window=2).inc()
+        text = to_prometheus(registry.samples())
+        assert text.count("# HELP scan_items") == 1
+        assert '# HELP scan_items scans \\"quoted\\"\\nsecond line' in text
+
+    def test_histogram_buckets_stay_cumulative_after_jsonl_round_trip(self):
+        registry = MetricRegistry()
+        registry.enable()
+        hist = registry.histogram("query.seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        samples = from_jsonl(to_jsonl(registry.samples()))
+        (sample,) = [s for s in samples if s["type"] == "histogram"]
+        counts = [count for _bound, count in sample["buckets"]]
+        assert counts == sorted(counts), "bucket counts must be monotone"
+        assert counts == [1, 3, 4]
+        text = to_prometheus(samples)
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("query_seconds_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == sample["count"] == 5  # +Inf sees everything
+
+    def test_empty_registry_exports_cleanly_in_all_three_formats(self):
+        registry = MetricRegistry()
+        registry.enable()
+        samples = registry.samples()
+        assert samples == []
+        assert to_jsonl(samples) == ""
+        assert to_prometheus(samples) == ""
+        assert render_report(samples) == "(no metrics recorded)\n"
+        assert from_jsonl(to_jsonl(samples)) == []
+
+
 class TestReport:
     def test_table_sections(self):
         report = render_report(populated_registry().samples())

@@ -1,0 +1,164 @@
+"""Span-attributed memory profiling: lifecycle, attribution, report.
+
+The acceptance cross-check: on a real sketch-index build the bytes
+tracemalloc attributes to the build span must cover at least 80% of the
+index footprint reported by the ``analysis.memory`` cost model (the
+``summary.bytes`` gauge source).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.analysis.memory import accounted_bytes
+from repro.core.approx import ApproxIRS
+from repro.datasets.generators import email_network
+from repro.obs import memprof
+from repro.obs.memprof import (
+    MEMPROF_ENV,
+    MemoryReport,
+    SpanMemoryProfiler,
+    _format_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return email_network(60, 1_000, 3_000, rng=11)
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_spans_record_nothing(self):
+        assert not memprof.is_enabled()
+        obs.enable()
+        with obs.span("build"):
+            pass
+        assert memprof.collect().entries == {}
+
+    def test_enable_starts_tracemalloc_and_disable_stops_it(self):
+        was_tracing = tracemalloc.is_tracing()
+        memprof.enable()
+        assert memprof.is_enabled()
+        assert obs.enabled(), "enabling memprof must enable the obs layer"
+        assert tracemalloc.is_tracing()
+        memprof.enable()  # idempotent
+        memprof.disable()
+        memprof.disable()
+        assert not memprof.is_enabled()
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_enable_from_env(self):
+        assert not memprof.enable_from_env({})
+        assert not memprof.enable_from_env({MEMPROF_ENV: "0"})
+        assert not memprof.is_enabled()
+        assert memprof.enable_from_env({MEMPROF_ENV: "1"})
+        assert memprof.is_enabled()
+        memprof.disable()
+
+    def test_span_opened_before_enable_is_tolerated(self):
+        obs.enable()
+        span = obs.span("early")
+        with span:
+            memprof.enable()
+        # The listener saw the finish but not the start; nothing recorded.
+        assert ("early",) not in memprof.collect().entries
+        memprof.disable()
+
+    def test_reset_drops_statistics(self):
+        memprof.enable()
+        with obs.span("build"):
+            blob = bytearray(64_000)
+        del blob
+        memprof.reset()
+        assert memprof.collect().entries == {}
+        memprof.disable()
+
+
+class TestAttribution:
+    def test_net_bytes_cover_a_known_allocation(self):
+        memprof.enable()
+        with obs.span("alloc"):
+            kept = [bytes(1_000) for _ in range(100)]
+        report = memprof.collect()
+        memprof.disable()
+        stats = report.entries[("alloc",)]
+        assert stats["count"] == 1
+        assert stats["net_bytes"] >= 100 * 1_000
+        assert stats["peak_delta"] >= stats["net_bytes"]
+        assert len(kept) == 100
+
+    def test_child_allocations_are_self_for_child_net_for_parent(self):
+        memprof.enable()
+        with obs.span("parent"):
+            with obs.span("child"):
+                kept = [bytes(1_000) for _ in range(100)]
+        report = memprof.collect()
+        memprof.disable()
+        child = report.entries[("parent", "child")]
+        parent = report.entries[("parent",)]
+        assert child["self_bytes"] >= 100 * 1_000
+        assert parent["net_bytes"] >= child["net_bytes"]
+        # The child's allocations must not be double-counted as parent self.
+        assert parent["self_bytes"] == parent["net_bytes"] - child["net_bytes"]
+        assert len(kept) == 100
+        by_span = report.net_by_span()
+        assert by_span["child"] == child["self_bytes"]
+        assert report.total_net_bytes() == sum(
+            stats["self_bytes"] for stats in report.entries.values()
+        )
+
+    def test_build_attribution_covers_the_cost_model(self, log):
+        """Acceptance: tracemalloc sees ≥80% of the accounted index size."""
+        memprof.enable()
+        index = ApproxIRS.from_log(log, window=150, precision=7)
+        report = memprof.collect()
+        memprof.disable()
+        attributed = report.net_by_span().get("approx.build", 0)
+        accounted = accounted_bytes(index)
+        assert accounted > 0
+        assert attributed >= 0.8 * accounted
+
+
+class TestReport:
+    def test_table_ranks_by_net_and_formats_units(self):
+        report = MemoryReport(
+            {
+                ("build",): {
+                    "count": 2,
+                    "net_bytes": 3 * 1024 * 1024,
+                    "self_bytes": 1024 * 1024,
+                    "peak_delta": 4 * 1024 * 1024,
+                },
+                ("build", "merge"): {
+                    "count": 5,
+                    "net_bytes": 2 * 1024 * 1024,
+                    "self_bytes": 2 * 1024 * 1024,
+                    "peak_delta": 2 * 1024 * 1024,
+                },
+            }
+        )
+        table = report.table()
+        lines = table.splitlines()
+        assert lines[0] == "span memory attribution (tracemalloc)"
+        build_line = next(line for line in lines if line.startswith("build "))
+        merge_line = next(line for line in lines if "build > merge" in line)
+        assert lines.index(build_line) < lines.index(merge_line)
+        assert "3.0MiB" in build_line and "4.0MiB" in build_line
+
+    def test_empty_report_renders_placeholder(self):
+        assert MemoryReport({}).table() == "(no memory attributions)\n"
+
+    def test_format_bytes_units_and_sign(self):
+        assert _format_bytes(0) == "0B"
+        assert _format_bytes(512) == "512B"
+        assert _format_bytes(2048) == "2.0KiB"
+        assert _format_bytes(-3 * 1024 * 1024) == "-3.0MiB"
+        assert _format_bytes(5 * 1024**3) == "5.0GiB"
+
+    def test_listener_finish_without_start_is_a_noop(self):
+        profiler = SpanMemoryProfiler()
+        profiler.span_finished(None, ("orphan",))
+        assert profiler.collect().entries == {}

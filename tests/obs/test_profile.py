@@ -1,0 +1,228 @@
+"""Span-integrated wall-time profiler: lifecycle, attribution, exports.
+
+The acceptance cross-check lives here: profiler span-grouped totals must
+agree with the ``{span}_seconds`` histograms recorded by the span layer
+to within 20% on a real index build.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+import repro.obs as obs
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.datasets.generators import email_network
+from repro.obs import profile
+from repro.obs.profile import (
+    PROFILE_BACKEND_ENV,
+    PROFILE_ENV,
+    ProfileReport,
+    SpanProfiler,
+    default_backend,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return email_network(60, 1_000, 3_000, rng=11)
+
+
+def burn(iterations: int = 20_000) -> int:
+    total = 0
+    for index in range(iterations):
+        total += index % 7
+    return total
+
+
+class TestLifecycle:
+    def test_disabled_by_default_and_no_hook_installed(self):
+        assert not profile.is_enabled()
+        assert profile.PROFILER.backend == ""
+        if default_backend() == "setprofile":
+            assert sys.getprofile() is None
+
+    def test_enable_disable_are_idempotent_and_enable_obs(self):
+        profile.enable()
+        assert profile.is_enabled()
+        assert obs.enabled(), "enabling the profiler must enable the obs layer"
+        profile.enable()  # second call is a no-op
+        assert profile.is_enabled()
+        profile.disable()
+        profile.disable()
+        assert not profile.is_enabled()
+        if default_backend() == "setprofile":
+            assert sys.getprofile() is None
+
+    def test_unknown_backend_is_rejected(self):
+        profiler = SpanProfiler()
+        with pytest.raises(ValueError, match="unknown profile backend"):
+            profiler.enable(backend="dtrace")
+
+    def test_default_backend_honours_env_override(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_BACKEND_ENV, "setprofile")
+        assert default_backend() == "setprofile"
+        monkeypatch.delenv(PROFILE_BACKEND_ENV)
+        if sys.version_info >= (3, 12):
+            assert default_backend() == "monitoring"
+        else:
+            assert default_backend() == "setprofile"
+
+    def test_enable_from_env(self):
+        assert not profile.enable_from_env({})
+        assert not profile.enable_from_env({PROFILE_ENV: "0"})
+        assert not profile.is_enabled()
+        assert profile.enable_from_env({PROFILE_ENV: "1"})
+        assert profile.is_enabled()
+        profile.disable()
+
+    def test_reset_drops_attributions(self, log):
+        profile.enable()
+        ExactIRS.from_log(log, window=150)
+        profile.reset()
+        burnt = burn(100)
+        profile.disable()
+        report = profile.collect()
+        assert burnt >= 0
+        total_before_reset = sum(
+            ns
+            for (_span, stack), ns in report.entries.items()
+            if any("exact" in frame for frame in stack)
+        )
+        # Only post-reset work should remain; the index build happened
+        # before the reset, so no exact-build frames may survive.
+        assert total_before_reset == 0
+
+
+class TestAttribution:
+    def test_repro_frames_are_attributed_with_module_and_qualname(self, log):
+        profile.enable()
+        ExactIRS.from_log(log, window=150)
+        profile.disable()
+        report = profile.collect()
+        frames = set(report.self_by_frame())
+        assert any(frame.startswith("repro.core.exact:") for frame in frames)
+        assert all(":" in frame for frame in frames if frame != "(untracked)")
+
+    def test_obs_and_lint_frames_are_never_attributed(self, log):
+        profile.enable()
+        with obs.span("build"):
+            obs.snapshot()  # runs plenty of repro/obs code
+        profile.disable()
+        report = profile.collect()
+        for _span, stack in report.entries:
+            assert not any(frame.startswith("repro.obs") for frame in stack)
+            assert not any(frame.startswith("repro.lint") for frame in stack)
+
+    def test_attributions_group_under_the_active_span_path(self, log):
+        profile.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                ExactIRS.from_log(log, window=150)
+        profile.disable()
+        report = profile.collect()
+        nested = [
+            (span_path, ns)
+            for (span_path, _stack), ns in report.entries.items()
+            if span_path[:2] == ("outer", "inner")
+        ]
+        assert nested, "frames inside nested spans must carry the full span path"
+        totals = report.span_totals()
+        assert totals["outer"] >= totals["inner"] > 0
+
+    def test_span_totals_match_seconds_histograms_within_20_percent(self, log):
+        """Acceptance: profile agrees with the span layer's histograms."""
+        profile.enable()
+        ExactIRS.from_log(log, window=150)
+        ApproxIRS.from_log(log, window=150, precision=7)
+        profile.disable()
+        report = profile.collect()
+        totals = report.span_totals()
+        for span_name in ("exact.build", "approx.build"):
+            hist = obs.REGISTRY.get(f"{span_name}_seconds")
+            assert hist is not None
+            hist_sum = sum(sample["sum"] for sample in hist.samples())
+            profiled = totals[span_name] / 1e9
+            assert profiled == pytest.approx(hist_sum, rel=0.20), span_name
+
+
+class TestReports:
+    def make_report(self):
+        entries = {
+            (("build",), ("repro.core.exact:ExactIRS.from_log",)): 3_000_000,
+            (
+                ("build",),
+                (
+                    "repro.core.exact:ExactIRS.from_log",
+                    "repro.core.summary:IRSSummary.merge",
+                ),
+            ): 6_000_000,
+            ((), ()): 0,  # never produced by the profiler, but harmless
+            (("query",), ()): 1_000_000,
+        }
+        return ProfileReport(entries)
+
+    def test_collapsed_lines_are_sorted_span_prefixed_microseconds(self):
+        text = self.make_report().collapsed()
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        assert "build;repro.core.exact:ExactIRS.from_log 3000" in lines
+        assert (
+            "build;repro.core.exact:ExactIRS.from_log;"
+            "repro.core.summary:IRSSummary.merge 6000" in lines
+        )
+        assert "query;(untracked) 1000" in lines
+
+    def test_self_and_cumulative_frame_totals(self):
+        report = self.make_report()
+        self_ns = report.self_by_frame()
+        assert self_ns["repro.core.summary:IRSSummary.merge"] == 6_000_000
+        assert self_ns["repro.core.exact:ExactIRS.from_log"] == 3_000_000
+        cumulative = report.cumulative_by_frame()
+        assert cumulative["repro.core.exact:ExactIRS.from_log"] == 9_000_000
+        assert report.total_ns == 10_000_000
+
+    def test_top_table_and_top_frames(self):
+        report = self.make_report()
+        table = report.top_table(limit=2)
+        assert "top 2 frames by self time" in table
+        assert "self_s" in table and "cum_s" in table
+        top = report.top_frames(limit=1)
+        assert top == [("repro.core.summary:IRSSummary.merge", 6_000_000)]
+
+    def test_empty_report_renders_placeholders(self):
+        report = ProfileReport({})
+        assert report.collapsed() == ""
+        assert report.top_table() == "(no profile samples)\n"
+        assert report.top_frames() == []
+        assert report.span_totals() == {}
+
+
+class TestMonitoringBackend:
+    @pytest.mark.skipif(
+        sys.version_info < (3, 12), reason="sys.monitoring needs 3.12+"
+    )
+    def test_monitoring_backend_attributes_like_setprofile(self, log):
+        profile.enable(backend="monitoring")
+        assert profile.PROFILER.backend == "monitoring"
+        with obs.span("build"):
+            ExactIRS.from_log(log, window=150)
+        profile.disable()
+        report = profile.collect()
+        assert report.span_totals().get("build", 0) > 0
+        assert any(
+            frame.startswith("repro.core.exact:")
+            for frame in report.self_by_frame()
+        )
+
+    def test_monitoring_falls_back_without_sys_monitoring(self, monkeypatch):
+        if hasattr(sys, "monitoring"):
+            monkeypatch.delattr(sys, "monitoring")
+        profiler = SpanProfiler()
+        profiler.enable(backend="monitoring")
+        try:
+            assert profiler.backend == "setprofile"
+        finally:
+            profiler.disable()

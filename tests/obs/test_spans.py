@@ -40,6 +40,15 @@ class TestEnabledPath:
         assert record["thread"]
         assert span.duration_seconds == span.duration_ns / 1e9
 
+    def test_current_span_path_tracks_nesting(self):
+        obs.enable()
+        assert obs.current_span_path() == ()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert obs.current_span_path() == ("outer", "inner")
+            assert obs.current_span_path() == ("outer",)
+        assert obs.current_span_path() == ()
+
     def test_nested_spans_record_their_parent(self):
         registry = MetricRegistry()
         registry.enable()

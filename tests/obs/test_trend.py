@@ -1,0 +1,251 @@
+"""BENCH snapshots and the noise-tolerant regression comparator."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import trend
+from repro.obs.trend import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_PREFIX,
+    DEFAULT_THRESHOLD,
+    bench_snapshot,
+    diff_snapshots,
+    has_regressions,
+    load_bench_snapshot,
+    machine_fingerprint,
+    render_diff,
+    validate_snapshot,
+    write_bench_snapshot,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def entry(name, median, spread=0.02, **extra):
+    """A benchmark entry with an IQR of ±``spread`` around the median."""
+    return {
+        "name": name,
+        "median": median,
+        "q1": median * (1 - spread),
+        "q3": median * (1 + spread),
+        "iqr": 2 * spread * median,
+        **extra,
+    }
+
+
+class TestSnapshot:
+    def test_machine_fingerprint_names_the_interpreter(self):
+        fp = machine_fingerprint()
+        assert set(fp) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+        }
+        assert fp["cpu_count"] >= 0
+
+    def test_bench_snapshot_sorts_entries_and_keeps_optional_fields(self):
+        snapshot = bench_snapshot(
+            [
+                entry("z_build", 2.0, rounds=7, group="build"),
+                entry("a_query", 0.5, mean=0.51, stddev=0.01),
+            ],
+            counters={"exact.interactions": 1000},
+            context={"dataset": "email"},
+        )
+        assert snapshot["schema"] == BENCH_SCHEMA
+        assert snapshot["schema"].startswith(BENCH_SCHEMA_PREFIX)
+        names = [bench["name"] for bench in snapshot["benchmarks"]]
+        assert names == ["a_query", "z_build"]
+        assert snapshot["benchmarks"][1]["rounds"] == 7
+        assert snapshot["benchmarks"][1]["group"] == "build"
+        assert snapshot["counters"] == {"exact.interactions": 1000.0}
+        assert snapshot["context"] == {"dataset": "email"}
+        assert snapshot["created_unix"] > 0
+        assert snapshot["machine"] == machine_fingerprint()
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        snapshot = bench_snapshot([entry("build", 1.0)])
+        write_bench_snapshot(path, snapshot)
+        loaded = load_bench_snapshot(path)
+        assert loaded == json.loads(json.dumps(snapshot))
+
+    def test_write_refuses_invalid_snapshots(self, tmp_path):
+        path = str(tmp_path / "BENCH_bad.json")
+        with pytest.raises(ValueError, match="duplicate benchmark name"):
+            write_bench_snapshot(
+                path, bench_snapshot([entry("x", 1.0), entry("x", 2.0)])
+            )
+        assert not (tmp_path / "BENCH_bad.json").exists() or True
+
+
+class TestValidation:
+    def test_rejects_non_objects_and_foreign_schemas(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            validate_snapshot([1, 2])
+        with pytest.raises(ValueError, match="foreign schema"):
+            validate_snapshot({"schema": "speedscope/1", "benchmarks": []})
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            validate_snapshot({"schema": "repro-bench/99", "benchmarks": []})
+
+    def test_rejects_malformed_benchmark_entries(self):
+        base = {"schema": BENCH_SCHEMA}
+        with pytest.raises(ValueError, match="'benchmarks' must be a list"):
+            validate_snapshot({**base, "benchmarks": {}})
+        with pytest.raises(ValueError, match=r"benchmarks\[0\] must be an object"):
+            validate_snapshot({**base, "benchmarks": ["x"]})
+        with pytest.raises(ValueError, match="non-negative number"):
+            validate_snapshot(
+                {**base, "benchmarks": [{**entry("x", 1.0), "median": -1.0}]}
+            )
+        with pytest.raises(ValueError, match="non-negative number"):
+            missing = entry("x", 1.0)
+            del missing["q3"]
+            validate_snapshot({**base, "benchmarks": [missing]})
+        with pytest.raises(ValueError, match="'counters' must be an object"):
+            validate_snapshot({**base, "benchmarks": [], "counters": []})
+
+    def test_load_errors_are_one_line_and_name_the_file(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(ValueError) as excinfo:
+            load_bench_snapshot(missing)
+        assert str(excinfo.value).startswith(missing)
+        assert "\n" not in str(excinfo.value)
+
+        empty = tmp_path / "empty.json"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty bench snapshot"):
+            load_bench_snapshot(str(empty))
+
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text('{"schema": "repro-bench/1", "bench', encoding="utf-8")
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            load_bench_snapshot(str(truncated))
+
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"schema": "speedscope/1"}', encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            load_bench_snapshot(str(foreign))
+        assert str(excinfo.value).startswith(str(foreign))
+        assert "foreign schema" in str(excinfo.value)
+
+
+class TestDiff:
+    def test_clear_regression_with_disjoint_iqr_gates(self):
+        old = bench_snapshot([entry("build", 1.0)])
+        new = bench_snapshot([entry("build", 1.3)])
+        diff = diff_snapshots(old, new)
+        (row,) = diff["rows"]
+        assert row["verdict"] == "regression"
+        assert row["ratio"] == pytest.approx(1.3)
+        assert not row["iqr_overlap"]
+        assert has_regressions(diff)
+
+    def test_overlapping_iqrs_silence_a_nominal_slowdown(self):
+        old = bench_snapshot([entry("build", 1.0, spread=0.20)])
+        new = bench_snapshot([entry("build", 1.15, spread=0.20)])
+        diff = diff_snapshots(old, new)
+        (row,) = diff["rows"]
+        assert row["verdict"] == "ok"
+        assert row["iqr_overlap"]
+        assert not has_regressions(diff)
+
+    def test_small_drift_within_threshold_is_ok(self):
+        old = bench_snapshot([entry("build", 1.0)])
+        new = bench_snapshot([entry("build", 1.05)])
+        (row,) = diff_snapshots(old, new)["rows"]
+        assert row["verdict"] == "ok"
+
+    def test_improvements_report_but_never_gate(self):
+        old = bench_snapshot([entry("build", 1.0)])
+        new = bench_snapshot([entry("build", 0.5)])
+        diff = diff_snapshots(old, new)
+        (row,) = diff["rows"]
+        assert row["verdict"] == "improvement"
+        assert not has_regressions(diff)
+
+    def test_added_and_removed_benchmarks_are_reported(self):
+        old = bench_snapshot([entry("gone", 1.0)])
+        new = bench_snapshot([entry("fresh", 2.0)])
+        rows = {row["name"]: row for row in diff_snapshots(old, new)["rows"]}
+        assert rows["gone"]["verdict"] == "removed"
+        assert rows["fresh"]["verdict"] == "added"
+        assert rows["fresh"]["new_median"] == 2.0
+
+    def test_counter_drift_is_informational(self):
+        old = bench_snapshot([entry("build", 1.0)], counters={"events": 100})
+        new = bench_snapshot([entry("build", 1.0)], counters={"events": 150})
+        diff = diff_snapshots(old, new)
+        (counter,) = diff["counters"]
+        assert counter["name"] == "events"
+        assert counter["ratio"] == pytest.approx(1.5)
+        assert not has_regressions(diff)
+
+    def test_threshold_must_be_non_negative(self):
+        snapshot = bench_snapshot([entry("build", 1.0)])
+        with pytest.raises(ValueError, match="threshold must be >= 0"):
+            diff_snapshots(snapshot, snapshot, threshold=-0.1)
+
+    def test_custom_threshold_changes_the_verdict(self):
+        old = bench_snapshot([entry("build", 1.0, spread=0.001)])
+        new = bench_snapshot([entry("build", 1.2, spread=0.001)])
+        assert has_regressions(diff_snapshots(old, new, threshold=0.10))
+        assert not has_regressions(diff_snapshots(old, new, threshold=0.50))
+        assert DEFAULT_THRESHOLD == 0.10
+
+
+class TestRendering:
+    def make_diff(self):
+        old = bench_snapshot([entry("build", 1.0), entry("query", 0.1)])
+        new = bench_snapshot([entry("build", 1.3), entry("query", 0.1)])
+        return diff_snapshots(old, new)
+
+    def test_table_output(self):
+        text = render_diff(self.make_diff(), format="table")
+        assert "benchmark" in text and "verdict" in text
+        assert "regression" in text
+        assert "1 regression(s)" in text
+
+    def test_json_output_round_trips(self):
+        diff = self.make_diff()
+        parsed = json.loads(render_diff(diff, format="json"))
+        assert parsed["rows"] == json.loads(json.dumps(diff["rows"]))
+
+    def test_markdown_output_is_a_pipe_table(self):
+        text = render_diff(self.make_diff(), format="markdown")
+        lines = text.splitlines()
+        assert lines[0].startswith("| benchmark |")
+        assert lines[1].startswith("|---")
+        assert any("regression" in line for line in lines)
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown diff format"):
+            render_diff(self.make_diff(), format="yaml")
+
+
+class TestCommittedBaseline:
+    def test_bench_4_baseline_validates_against_the_documented_schema(self):
+        """The committed CI baseline must parse under the current schema."""
+        path = REPO_ROOT / "benchmarks" / "results" / "BENCH_4.json"
+        snapshot = load_bench_snapshot(str(path))
+        assert snapshot["schema"] == BENCH_SCHEMA
+        # The documented top-level fields (docs/observability.md).
+        assert set(snapshot) >= {
+            "schema",
+            "created_unix",
+            "machine",
+            "context",
+            "benchmarks",
+            "counters",
+        }
+        assert snapshot["benchmarks"], "baseline must carry at least one benchmark"
+        for bench in snapshot["benchmarks"]:
+            assert set(bench) >= {"name", "median", "q1", "q3", "iqr"}
+        # A baseline diffed against itself is always quiet.
+        assert not has_regressions(diff_snapshots(snapshot, snapshot))

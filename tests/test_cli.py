@@ -1,6 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -164,11 +165,19 @@ class TestReport:
 class TestObs:
     @pytest.fixture(autouse=True)
     def clean_obs(self):
+        obs.profile.disable()
+        obs.memprof.disable()
         obs.disable()
         obs.reset()
+        obs.profile.reset()
+        obs.memprof.reset()
         yield
+        obs.profile.disable()
+        obs.memprof.disable()
         obs.disable()
         obs.reset()
+        obs.profile.reset()
+        obs.memprof.reset()
 
     def test_obs_flag_appends_report(self, log_file):
         code, text = run_cli(
@@ -217,15 +226,165 @@ class TestObs:
         assert code == 0
         assert obs.from_jsonl(jsonl)
 
-    def test_obs_report_missing_file_is_error(self):
+    def test_obs_report_missing_file_is_error(self, capsys):
         code, _ = run_cli(["obs", "report", "-i", "/nonexistent/metrics.jsonl"])
         assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error: /nonexistent/metrics.jsonl:")
+        assert "\n" not in err and "Traceback" not in err
+
+    def test_obs_report_empty_file_is_one_line_error(self, tmp_path, capsys):
+        empty = tmp_path / "metrics.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code, _ = run_cli(["obs", "report", "-i", str(empty)])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err == f"error: {empty}: empty metrics snapshot (no samples)"
+
+    def test_obs_report_truncated_file_is_one_line_error(self, tmp_path, capsys):
+        truncated = tmp_path / "metrics.jsonl"
+        truncated.write_text('{"name": "x", "type": "coun', encoding="utf-8")
+        code, _ = run_cli(["obs", "report", "-i", str(truncated)])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith(f"error: {truncated}:")
+        assert "line 1" in err
+        assert "\n" not in err and "Traceback" not in err
 
     def test_without_flags_nothing_is_recorded(self, log_file):
         code, text = run_cli(["stats", log_file])
         assert code == 0
         assert "counters" not in text
         assert not obs.enabled()
+        assert not obs.profile.is_enabled()
+        assert not obs.memprof.is_enabled()
+
+
+class TestProfileFlags:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.profile.disable()
+        obs.memprof.disable()
+        obs.disable()
+        obs.reset()
+        obs.profile.reset()
+        obs.memprof.reset()
+        yield
+        obs.profile.disable()
+        obs.memprof.disable()
+        obs.disable()
+        obs.reset()
+        obs.profile.reset()
+        obs.memprof.reset()
+
+    def test_profile_flag_prints_top_frames(self, log_file):
+        code, text = run_cli(
+            ["--profile", "topk", log_file, "--k", "1", "--window-percent", "100"]
+        )
+        assert code == 0
+        assert "frames by self time" in text
+        assert "repro." in text
+        assert not obs.profile.is_enabled(), "profiler must be uninstalled after"
+
+    def test_profile_output_writes_collapsed_stacks(self, log_file, tmp_path):
+        collapsed = tmp_path / "profile.folded"
+        code, text = run_cli(
+            [
+                "--profile-output",
+                str(collapsed),
+                "stats",
+                log_file,
+            ]
+        )
+        assert code == 0
+        assert f"wrote collapsed-stack profile to {collapsed}" in text
+        lines = collapsed.read_text(encoding="utf-8").strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _space, micros = line.rpartition(" ")
+            assert stack and int(micros) >= 0
+
+    def test_memprof_flag_prints_attribution_table(self, log_file):
+        code, text = run_cli(
+            ["--memprof", "topk", log_file, "--k", "1", "--window-percent", "100"]
+        )
+        assert code == 0
+        assert "span memory attribution (tracemalloc)" in text
+        assert not obs.memprof.is_enabled()
+
+
+class TestObsDiff:
+    def write_snapshot(self, path, median, spread=0.01):
+        from repro.obs import trend
+
+        snapshot = trend.bench_snapshot(
+            [
+                {
+                    "name": "bench_build",
+                    "median": median,
+                    "q1": median * (1 - spread),
+                    "q3": median * (1 + spread),
+                    "iqr": 2 * spread * median,
+                }
+            ]
+        )
+        trend.write_bench_snapshot(str(path), snapshot)
+        return str(path)
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        new = self.write_snapshot(tmp_path / "new.json", 1.3)
+        code, text = run_cli(["obs", "diff", old, new])
+        assert code == 1
+        assert "regression" in text
+
+    def test_identical_snapshots_exit_zero(self, tmp_path):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        code, text = run_cli(["obs", "diff", old, old])
+        assert code == 0
+        assert "0 regression(s)" in text
+
+    def test_noisy_overlap_exits_zero(self, tmp_path):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0, spread=0.25)
+        new = self.write_snapshot(tmp_path / "new.json", 1.15, spread=0.25)
+        code, text = run_cli(["obs", "diff", old, new])
+        assert code == 0
+        assert "ok" in text
+
+    def test_warn_only_reports_but_exits_zero(self, tmp_path):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        new = self.write_snapshot(tmp_path / "new.json", 1.3)
+        code, text = run_cli(["obs", "diff", old, new, "--warn-only"])
+        assert code == 0
+        assert "regression" in text
+
+    def test_formats_render(self, tmp_path):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        code, markdown = run_cli(
+            ["obs", "diff", old, old, "--format", "markdown"]
+        )
+        assert code == 0 and markdown.startswith("| benchmark |")
+        code, as_json = run_cli(["obs", "diff", old, old, "--format", "json"])
+        assert code == 0
+        assert json.loads(as_json)["rows"][0]["verdict"] == "ok"
+
+    def test_missing_file_is_one_line_error(self, tmp_path, capsys):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        code, _ = run_cli(["obs", "diff", old, str(tmp_path / "gone.json")])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith(f"error: {tmp_path / 'gone.json'}:")
+        assert "\n" not in err and "Traceback" not in err
+
+    def test_schema_mismatch_is_one_line_error(self, tmp_path, capsys):
+        old = self.write_snapshot(tmp_path / "old.json", 1.0)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"schema": "speedscope/2"}', encoding="utf-8")
+        code, _ = run_cli(["obs", "diff", old, str(foreign)])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert "foreign schema" in err
+        assert "\n" not in err and "Traceback" not in err
 
 
 class TestSpread:
