@@ -1,0 +1,102 @@
+"""Serving layer — snapshot I/O, cached vs uncached spread, loadgen run.
+
+Not a paper figure, but the operational face of the paper's headline
+claim: because oracle queries are microseconds, a single process can
+sustain thousands of influence queries per second.  Three measurements:
+
+* snapshot round trip (save + load) of the sketch oracle;
+* ``OracleService.spread`` with a cold cache vs the LRU hit path;
+* a 4-thread closed-loop loadgen acceptance run (≥1k requests, zero
+  errors tolerated) whose latency percentiles land in the results table.
+"""
+
+import pytest
+from conftest import register_text
+
+from repro.core.approx import ApproxIRS
+from repro.core.oracle import ApproxInfluenceOracle
+from repro.serve.loadgen import ServiceClient, run_loadgen, synth_workload
+from repro.serve.service import OracleService
+from repro.serve.snapshot import load_oracle, save_oracle
+
+WINDOW_PERCENT = 20
+PRECISION = 9
+LOADGEN_REQUESTS = 2_000
+LOADGEN_THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def serve_oracle(catalog_logs):
+    log = catalog_logs["slashdot-sim"]
+    return ApproxInfluenceOracle.from_index(
+        ApproxIRS.from_log(log, log.window_from_percent(WINDOW_PERCENT), PRECISION)
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(serve_oracle, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve") / "oracle.snap")
+    save_oracle(path, serve_oracle)
+    return path
+
+
+def test_serve_snapshot_round_trip(benchmark, serve_oracle, snapshot_path, tmp_path):
+    info = save_oracle(str(tmp_path / "size-probe.snap"), serve_oracle)
+    register_text(
+        "Serve-snapshot",
+        f"Serve snapshot: {info['kind']} oracle, {info['nodes']} nodes, "
+        f"{info['bytes']} bytes on disk",
+    )
+
+    def round_trip():
+        path = str(tmp_path / "bench.snap")
+        save_oracle(path, serve_oracle)
+        return load_oracle(path)
+
+    loaded = benchmark(round_trip)
+    nodes = sorted(serve_oracle.nodes(), key=repr)[:16]
+    assert loaded.spread(nodes) == serve_oracle.spread(nodes)
+
+
+def test_serve_spread_uncached(benchmark, serve_oracle):
+    service = OracleService(serve_oracle, cache_size=0)  # cache disabled
+    nodes = sorted(serve_oracle.nodes(), key=repr)
+    seeds = nodes[:64]
+    benchmark(service.spread, seeds)
+    assert service.stats()["cache"]["hits"] == 0
+
+
+def test_serve_spread_cached(benchmark, serve_oracle):
+    service = OracleService(serve_oracle, cache_size=64)
+    nodes = sorted(serve_oracle.nodes(), key=repr)
+    seeds = nodes[:64]
+    service.spread(seeds)  # warm the single hot entry
+    benchmark(service.spread, seeds)
+    stats = service.stats()["cache"]
+    assert stats["hits"] >= 1
+    assert stats["hit_rate"] > 0.5
+
+
+def test_serve_loadgen_acceptance(benchmark, serve_oracle):
+    """4 threads × 2k requests through the service: zero errors, and the
+    latency percentiles + cache hit-rate become a results artifact."""
+    service = OracleService(serve_oracle, cache_size=256)
+    nodes = sorted(serve_oracle.nodes(), key=repr)
+    workload = synth_workload(nodes, LOADGEN_REQUESTS, rng=13)
+    client = ServiceClient(service)
+
+    report = benchmark.pedantic(
+        lambda: run_loadgen(client, workload, threads=LOADGEN_THREADS),
+        iterations=1,
+        rounds=1,
+    )
+    assert report.errors == 0
+    assert report.requests == LOADGEN_REQUESTS
+    cache = service.stats()["cache"]
+    assert cache["hit_rate"] > 0
+    register_text(
+        "Serve-loadgen",
+        report.table()
+        + f"\ncache_hit_rate  {cache['hit_rate']:.1%}"
+        + f"\ncache_entries   {cache['size']}/{cache['capacity']}",
+    )

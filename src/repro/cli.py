@@ -14,7 +14,12 @@ Four subcommands cover the typical workflow end to end:
   chosen scale;
 * ``obs``      — observability utilities: render a recorded metrics
   snapshot (``obs report``) or compare two benchmark snapshots under the
-  regression gate (``obs diff``).
+  regression gate (``obs diff``);
+* ``snapshot`` — build an influence oracle from an edge list and persist
+  it as a ``repro-snap/1`` file (``snapshot save``), or verify and
+  summarise an existing one (``snapshot load``);
+* ``serve``    — boot the JSON-over-HTTP oracle server from a snapshot
+  (see :mod:`repro.serve.http`; SIGTERM drains gracefully).
 
 Every command reads/writes the whitespace ``source target time`` edge-list
 format of :meth:`repro.core.interactions.InteractionLog.read`.
@@ -218,6 +223,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but always exit 0 (CI soft gate)",
     )
 
+    snapshot_cmd = commands.add_parser(
+        "snapshot", help="build/inspect repro-snap/1 oracle snapshots"
+    )
+    snapshot_actions = snapshot_cmd.add_subparsers(dest="snapshot_command", required=True)
+    snapshot_save = snapshot_actions.add_parser(
+        "save", help="build an oracle from an edge list and write a snapshot"
+    )
+    snapshot_save.add_argument("log", help="edge-list file")
+    snapshot_save.add_argument(
+        "--kind",
+        choices=("exact", "approx"),
+        default="approx",
+        help="oracle flavour to build (default: approx)",
+    )
+    snapshot_save.add_argument(
+        "--window-percent",
+        type=float,
+        default=10.0,
+        help="omega as %% of the log's time span",
+    )
+    snapshot_save.add_argument(
+        "--precision", type=int, default=9, help="sketch index bits (approx only)"
+    )
+    snapshot_save.add_argument(
+        "--output", "-o", required=True, help="snapshot file to write"
+    )
+    snapshot_load = snapshot_actions.add_parser(
+        "load", help="load a snapshot back, verify CRCs, print a summary"
+    )
+    snapshot_load.add_argument("snapshot", help="repro-snap/1 file")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve influence queries over HTTP from a snapshot"
+    )
+    serve_cmd.add_argument("snapshot", help="repro-snap/1 oracle snapshot")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8750, help="bind port (0 picks a free one)"
+    )
+    serve_cmd.add_argument(
+        "--cache-size", type=int, default=1024, help="LRU spread-cache capacity"
+    )
+    serve_cmd.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="largest accepted request body (default: 1 MiB)",
+    )
+
     return parser
 
 
@@ -349,6 +403,72 @@ def _command_obs_diff(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_snapshot(args: argparse.Namespace, out) -> int:
+    from repro.serve.snapshot import SnapshotReader, save_oracle
+
+    if args.snapshot_command == "load":
+        with SnapshotReader(args.snapshot) as reader:
+            sections = reader.verify()
+            print(f"snapshot:  {args.snapshot}", file=out)
+            print(f"kind:      {reader.kind}", file=out)
+            print(f"nodes:     {reader.meta.get('node_count', '?')}", file=out)
+            print(f"sections:  {sections} (all CRCs verified)", file=out)
+            print(f"bytes:     {reader.size_bytes()}", file=out)
+        return 0
+
+    from repro.core.approx import ApproxIRS
+    from repro.core.exact import ExactIRS
+    from repro.core.oracle import ApproxInfluenceOracle, ExactInfluenceOracle
+
+    log = InteractionLog.read(args.log)
+    window = log.window_from_percent(args.window_percent)
+    if args.kind == "exact":
+        oracle: object = ExactInfluenceOracle.from_index(
+            ExactIRS.from_log(log, window)
+        )
+    else:
+        oracle = ApproxInfluenceOracle.from_index(
+            ApproxIRS.from_log(log, window, precision=args.precision)
+        )
+    info = save_oracle(args.output, oracle)  # type: ignore[arg-type]
+    print(
+        f"wrote {info['kind']} snapshot of {info['nodes']} nodes "
+        f"({info['bytes']} bytes) to {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    from repro.serve.http import (
+        DEFAULT_MAX_REQUEST_BYTES,
+        build_server,
+        install_drain_handler,
+        serve_until_shutdown,
+    )
+    from repro.serve.service import OracleService
+
+    service = OracleService.from_snapshot(args.snapshot, cache_size=args.cache_size)
+    limit = (
+        args.max_request_bytes
+        if args.max_request_bytes is not None
+        else DEFAULT_MAX_REQUEST_BYTES
+    )
+    server = build_server(service, host=args.host, port=args.port, max_request_bytes=limit)
+    install_drain_handler(server)
+    host, port = server.server_address[:2]
+    info = service.info()
+    print(
+        f"serving {info['kind']} oracle ({info['nodes']} nodes) "
+        f"on http://{host}:{port} — SIGTERM drains",
+        file=out,
+        flush=True,
+    )
+    serve_until_shutdown(server)
+    print("server drained, exiting", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     output = out if out is not None else sys.stdout
@@ -371,6 +491,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "explain": _command_explain,
         "report": _command_report,
         "obs": _command_obs,
+        "snapshot": _command_snapshot,
+        "serve": _command_serve,
     }
     try:
         code = handlers[args.command](args, output)

@@ -228,6 +228,17 @@ class ApproxInfluenceOracle(InfluenceOracle):
     def nodes(self) -> Iterable[Node]:
         return self._registers.keys()
 
+    def registers(self, node: Node) -> List[int]:
+        """A copy of ``node``'s effective register array (empty if unknown).
+
+        This is the serialisation surface: a snapshot stores exactly these
+        arrays, so a reloaded oracle is bit-identical to the original.
+        """
+        array = self._registers.get(node)
+        if array is None:
+            return [0] * self._m
+        return list(array)
+
     def influence(self, node: Node) -> float:
         array = self._registers.get(node)
         if array is None:
@@ -238,16 +249,15 @@ class ApproxInfluenceOracle(InfluenceOracle):
         if _OBS.enabled:
             seeds = list(seeds)
             _QUERY_SEEDS.observe(len(seeds))
+        # One code path for unions: spread == value(accumulate(seeds)).
+        # A private re-merge here could drift from the accumulator the
+        # greedy maximization grows, and then cached spreads would not be
+        # comparable across the two entry points.
         with self._obs_spread.time():
-            combined = [0] * self._m
-            for seed in seeds:  # repro-lint: budget=O(|seeds|·β)
-                array = self._registers.get(seed)
-                if array is None:
-                    continue
-                for i, value in enumerate(array):
-                    if value > combined[i]:
-                        combined[i] = value
-            return estimate_from_registers(combined, self._m)
+            combined = self.new_accumulator()
+            for seed in seeds:
+                self.accumulate(combined, seed)
+            return self.value(combined)
 
     def new_accumulator(self) -> List[int]:
         return [0] * self._m

@@ -59,6 +59,7 @@ KNOWN_SUBPACKAGES = frozenset(
         "utils",
         "lint",
         "obs",
+        "serve",
     }
 )
 

@@ -49,8 +49,8 @@ __all__ = [
     "NoMutableDefaultArguments",
 ]
 
-ALGORITHM_SCOPES = frozenset({"core", "sketch", "simulation", "baselines"})
-TYPED_SCOPES = frozenset({"core", "sketch"})
+ALGORITHM_SCOPES = frozenset({"core", "sketch", "simulation", "baselines", "serve"})
+TYPED_SCOPES = frozenset({"core", "sketch", "serve"})
 
 
 class Rule:

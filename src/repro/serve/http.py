@@ -1,0 +1,301 @@
+"""JSON-over-HTTP front end for :class:`~repro.serve.service.OracleService`.
+
+A deliberately small, dependency-free server: Python's
+``ThreadingHTTPServer`` (one thread per connection) in front of the
+read-write-locked service.  Routes:
+
+========================  ======  =====================================
+``/v1/healthz``           GET     liveness + oracle info (503 while draining)
+``/v1/metrics``           GET     Prometheus text of the whole obs registry
+``/v1/influence``         POST    ``{"node": x}`` → individual influence
+``/v1/spread``            POST    ``{"seeds": [...]}`` or ``{"seed_sets": [[...], ...]}``
+``/v1/topk``              POST    ``{"k": n, "method": "influence"|"greedy"|"celf"}``
+``/v1/reload``            POST    ``{"path": "..."}`` → hot snapshot swap
+========================  ======  =====================================
+
+Error handling is uniform: every non-2xx response is a JSON envelope
+``{"error": {"status": <int>, "message": <str>}}`` — 400 for malformed
+requests, 404 for unknown routes and unknown nodes, 405 for wrong
+methods, 413 when the body exceeds the request-size limit, 503 while the
+server drains, and 500 for anything unexpected.
+
+Graceful shutdown: :func:`install_drain_handler` hooks SIGTERM/SIGINT to
+flip the server into *draining* (new requests get 503, ``/v1/healthz``
+reports it) and then stop the accept loop; ``serve_until_shutdown`` joins
+the in-flight handler threads before returning, so a supervisor's
+``kill -TERM`` never cuts a response short.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.serve.service import GREEDY_METHODS, OracleService
+from repro.utils.validation import require_int, require_type
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "OracleHTTPServer",
+    "build_server",
+    "install_drain_handler",
+    "serve_until_shutdown",
+]
+
+#: Largest accepted request body; a 10k-seed spread query is ~100 KB.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+_HTTP_REQUESTS = obs.counter(
+    "serve.http_requests", "HTTP requests by route and response code."
+)
+
+
+class OracleHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service plus serving policy."""
+
+    #: Handler threads are joined on ``server_close`` — the drain step.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: OracleService,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
+        require_type(service, "service", OracleService)
+        require_int(max_request_bytes, "max_request_bytes")
+        if max_request_bytes <= 0:
+            raise ValueError(
+                f"max_request_bytes must be > 0, got {max_request_bytes}"
+            )
+        super().__init__(address, OracleRequestHandler)
+        self.service = service
+        self.max_request_bytes = max_request_bytes
+        self.draining = False
+
+
+class _RequestError(Exception):
+    """Maps straight onto one JSON error envelope."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class OracleRequestHandler(BaseHTTPRequestHandler):
+    """One request: route, parse, call the service, answer JSON."""
+
+    server_version = "repro-serve/1"
+    #: One request per connection: keep-alive would park handler threads
+    #: in a blocking read between requests, and the graceful drain joins
+    #: every handler thread — idle keep-alive sockets would hang it.
+    protocol_version = "HTTP/1.0"
+    #: Socket timeout so a silent client cannot stall the drain forever.
+    timeout = 30.0
+    server: OracleHTTPServer  # narrowed for the route handlers
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log (metrics cover it)."""
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        _HTTP_REQUESTS.labels(route=self.path.split("?")[0], code=status).inc()
+
+    def _send_error_envelope(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": {"status": status, "message": message}})
+
+    def _read_body(self) -> Dict[str, object]:
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _RequestError(400, "missing Content-Length header")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _RequestError(400, f"bad Content-Length {raw_length!r}") from None
+        if length < 0:
+            raise _RequestError(400, f"bad Content-Length {raw_length!r}")
+        if length > self.server.max_request_bytes:
+            raise _RequestError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_request_bytes}-byte limit",
+            )
+        body = self.rfile.read(length)
+        if len(body) < length:
+            raise _RequestError(400, "request body shorter than Content-Length")
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _RequestError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(parsed, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return parsed
+
+    def _dispatch(self, method: str) -> None:
+        route = self.path.split("?")[0].rstrip("/") or "/"
+        try:
+            handler, expected_method = _ROUTES.get(route, (None, None))
+            if handler is None:
+                raise _RequestError(404, f"unknown route {route!r}")
+            if method != expected_method:
+                raise _RequestError(
+                    405, f"route {route!r} only accepts {expected_method}"
+                )
+            if self.server.draining and route != "/v1/metrics":
+                if route == "/v1/healthz":
+                    self._send_json(503, self._health_payload("draining"))
+                    return
+                raise _RequestError(503, "server is draining; retry elsewhere")
+            handler(self)
+        except _RequestError as error:
+            self._send_error_envelope(error.status, error.message)
+        except (TypeError, ValueError) as error:
+            self._send_error_envelope(400, str(error))
+        except Exception as error:  # pragma: no cover - defensive backstop
+            self._send_error_envelope(500, f"internal error: {error}")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming contract
+        self._dispatch("POST")
+
+    # -- routes ---------------------------------------------------------
+    def _health_payload(self, status: str) -> Dict[str, object]:
+        info = self.server.service.info()
+        stats = self.server.service.stats()
+        return {
+            "status": status,
+            "kind": info["kind"],
+            "nodes": info["nodes"],
+            "generation": info["generation"],
+            "cache": stats["cache"],
+        }
+
+    def _route_healthz(self) -> None:
+        self._send_json(200, self._health_payload("ok"))
+
+    def _route_metrics(self) -> None:
+        text = obs.to_prometheus(obs.snapshot(include_spans=False)).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(text)))
+        self.end_headers()
+        self.wfile.write(text)
+        _HTTP_REQUESTS.labels(route="/v1/metrics", code=200).inc()
+
+    def _route_influence(self) -> None:
+        body = self._read_body()
+        if "node" not in body:
+            raise _RequestError(400, "field 'node' is required")
+        node = body["node"]
+        service = self.server.service
+        if not service.contains(node):
+            raise _RequestError(404, f"unknown node {node!r}")
+        self._send_json(200, {"node": node, "influence": service.influence(node)})
+
+    def _route_spread(self) -> None:
+        body = self._read_body()
+        service = self.server.service
+        if "seed_sets" in body:
+            seed_sets = body["seed_sets"]
+            if not isinstance(seed_sets, list) or not all(
+                isinstance(seeds, list) for seeds in seed_sets
+            ):
+                raise _RequestError(400, "field 'seed_sets' must be a list of lists")
+            spreads = service.spread_many(seed_sets)
+            self._send_json(200, {"spreads": spreads, "count": len(spreads)})
+            return
+        seeds = body.get("seeds")
+        if not isinstance(seeds, list):
+            raise _RequestError(400, "field 'seeds' must be a list of node labels")
+        self._send_json(
+            200, {"spread": service.spread(seeds), "seeds": len(set(seeds))}
+        )
+
+    def _route_topk(self) -> None:
+        body = self._read_body()
+        k = body.get("k")
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise _RequestError(400, "field 'k' must be a positive integer")
+        method = body.get("method", "influence")
+        service = self.server.service
+        if method == "influence":
+            ranked = service.influence_topk(k)
+            payload: List[object] = [
+                {"node": node, "influence": influence} for node, influence in ranked
+            ]
+        elif method in GREEDY_METHODS:
+            payload = list(service.greedy_seeds(k, method=method))
+        else:
+            raise _RequestError(
+                400,
+                f"unknown method {method!r}; use 'influence', "
+                f"{' or '.join(repr(m) for m in GREEDY_METHODS)}",
+            )
+        self._send_json(200, {"k": k, "method": method, "seeds": payload})
+
+    def _route_reload(self) -> None:
+        body = self._read_body()
+        path = body.get("path")
+        if not isinstance(path, str) or not path:
+            raise _RequestError(400, "field 'path' must be a snapshot path")
+        self._send_json(200, self.server.service.reload(path))
+
+
+_ROUTES: Dict[str, Tuple[Optional[object], Optional[str]]] = {
+    "/v1/healthz": (OracleRequestHandler._route_healthz, "GET"),
+    "/v1/metrics": (OracleRequestHandler._route_metrics, "GET"),
+    "/v1/influence": (OracleRequestHandler._route_influence, "POST"),
+    "/v1/spread": (OracleRequestHandler._route_spread, "POST"),
+    "/v1/topk": (OracleRequestHandler._route_topk, "POST"),
+    "/v1/reload": (OracleRequestHandler._route_reload, "POST"),
+}
+
+
+def build_server(
+    service: OracleService,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+) -> OracleHTTPServer:
+    """Bind an :class:`OracleHTTPServer`; ``port=0`` picks a free port."""
+    return OracleHTTPServer((host, port), service, max_request_bytes=max_request_bytes)
+
+
+def install_drain_handler(server: OracleHTTPServer) -> None:
+    """Route SIGTERM/SIGINT into a graceful drain of ``server``.
+
+    The handler flips :attr:`OracleHTTPServer.draining` first (so health
+    checks start failing and load balancers stop routing here) and stops
+    the accept loop from a helper thread — ``shutdown()`` would deadlock
+    if called from the ``serve_forever`` thread itself.
+    """
+
+    def _drain(signum: int, frame: object) -> None:
+        server.draining = True
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+
+def serve_until_shutdown(server: OracleHTTPServer) -> None:
+    """Run the accept loop, then join in-flight handlers (the drain)."""
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -120,6 +120,29 @@ class TestApproxOracle:
         oracle.accumulate(state, "e")
         assert oracle.value(state) == pytest.approx(oracle.spread(["a", "e"]))
 
+    def test_spread_is_exactly_the_accumulator_path(self, paper_log):
+        """Regression: spread() must route through the shared accumulator,
+        so the two entry points are bit-for-bit identical, not merely
+        approximately equal (a private re-merge could drift)."""
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        nodes = sorted(paper_log.nodes)
+        seed_sets = [[], nodes[:1], nodes[:3], nodes, ["zzz"], nodes[::2] + ["zzz"]]
+        for seeds in seed_sets:
+            state = oracle.new_accumulator()
+            for seed in seeds:
+                oracle.accumulate(state, seed)
+            assert oracle.spread(seeds) == oracle.value(state)
+
+    def test_registers_accessor_copies(self, paper_log):
+        index = ApproxIRS.from_log(paper_log, window=3, precision=6)
+        oracle = ApproxInfluenceOracle.from_index(index)
+        array = oracle.registers("a")
+        assert len(array) == oracle.num_cells
+        array[0] += 1  # mutating the copy must not touch the oracle
+        assert oracle.registers("a") != array
+        assert oracle.registers("zzz") == [0] * oracle.num_cells
+
     def test_gain_does_not_mutate(self, paper_log):
         index = ApproxIRS.from_log(paper_log, window=3, precision=6)
         oracle = ApproxInfluenceOracle.from_index(index)

@@ -1,0 +1,38 @@
+"""Shared serve-layer fixtures: small oracles plus a clean obs registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.core.approx import ApproxIRS
+from repro.core.exact import ExactIRS
+from repro.core.oracle import ApproxInfluenceOracle, ExactInfluenceOracle
+from repro.datasets.generators import uniform_network
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Serve metrics share the global registry; isolate every test."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def small_log():
+    return uniform_network(30, 300, 1000, rng=11)
+
+
+@pytest.fixture(scope="module")
+def exact_oracle(small_log):
+    return ExactInfluenceOracle.from_index(ExactIRS.from_log(small_log, 10**9))
+
+
+@pytest.fixture(scope="module")
+def approx_oracle(small_log):
+    return ApproxInfluenceOracle.from_index(
+        ApproxIRS.from_log(small_log, 10**9, precision=6)
+    )

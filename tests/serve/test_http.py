@@ -1,0 +1,264 @@
+"""HTTP front end: routes, error envelopes, size limits, graceful drain."""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.http import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    OracleHTTPServer,
+    build_server,
+    install_drain_handler,
+    serve_until_shutdown,
+)
+from repro.serve.service import OracleService
+
+
+@pytest.fixture
+def running_server(exact_oracle):
+    service = OracleService(exact_oracle, cache_size=16)
+    server = build_server(service, port=0, max_request_bytes=4096)
+    thread = threading.Thread(target=serve_until_shutdown, args=(server,))
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def _url(server: OracleHTTPServer, route: str) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{route}"
+
+
+def _get(server, route):
+    with urllib.request.urlopen(_url(server, route), timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, route, payload, raw=None):
+    data = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        _url(server, route),
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_error(server, route, payload=None, raw=None, method="POST"):
+    data = (
+        raw
+        if raw is not None
+        else (json.dumps(payload).encode() if payload is not None else None)
+    )
+    request = urllib.request.Request(_url(server, route), data=data, method=method)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    body = json.loads(excinfo.value.read())
+    return excinfo.value.code, body
+
+
+class TestRoutes:
+    def test_healthz(self, running_server, exact_oracle):
+        status, payload = _get(running_server, "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["nodes"] == len(list(exact_oracle.nodes()))
+        assert payload["cache"]["capacity"] == 16
+
+    def test_metrics_prometheus_text(self, running_server):
+        with urllib.request.urlopen(_url(running_server, "/v1/metrics"), timeout=10) as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            text = response.read().decode()
+        assert "# HELP" in text
+
+    def test_influence(self, running_server, exact_oracle):
+        node = sorted(exact_oracle.nodes())[0]
+        status, payload = _post(running_server, "/v1/influence", {"node": node})
+        assert status == 200
+        assert payload["influence"] == exact_oracle.influence(node)
+
+    def test_spread_single(self, running_server, exact_oracle):
+        seeds = sorted(exact_oracle.nodes())[:4]
+        status, payload = _post(running_server, "/v1/spread", {"seeds": seeds})
+        assert status == 200
+        assert payload["spread"] == exact_oracle.spread(seeds)
+        assert payload["seeds"] == 4
+
+    def test_spread_batched(self, running_server, exact_oracle):
+        nodes = sorted(exact_oracle.nodes())
+        seed_sets = [nodes[:2], nodes[2:4]]
+        status, payload = _post(running_server, "/v1/spread", {"seed_sets": seed_sets})
+        assert status == 200
+        assert payload["count"] == 2
+        assert payload["spreads"] == [exact_oracle.spread(seeds) for seeds in seed_sets]
+
+    def test_topk_influence(self, running_server):
+        status, payload = _post(running_server, "/v1/topk", {"k": 3})
+        assert status == 200
+        assert len(payload["seeds"]) == 3
+        assert {"node", "influence"} <= set(payload["seeds"][0])
+
+    def test_topk_greedy(self, running_server):
+        status, payload = _post(
+            running_server, "/v1/topk", {"k": 2, "method": "greedy"}
+        )
+        assert status == 200
+        assert len(payload["seeds"]) == 2
+
+    def test_trailing_slash_accepted(self, running_server):
+        status, _ = _get(running_server, "/v1/healthz/")
+        assert status == 200
+
+
+class TestErrorEnvelopes:
+    def test_unknown_route_404(self, running_server):
+        code, body = _post_error(running_server, "/v1/nope", payload={})
+        assert code == 404
+        assert body["error"]["status"] == 404
+
+    def test_wrong_method_405(self, running_server):
+        code, body = _post_error(running_server, "/v1/healthz", payload={})
+        assert code == 405
+        assert "GET" in body["error"]["message"]
+
+    def test_unknown_node_404(self, running_server):
+        code, body = _post_error(
+            running_server, "/v1/influence", payload={"node": "missing-node"}
+        )
+        assert code == 404
+        assert "unknown node" in body["error"]["message"]
+
+    def test_missing_field_400(self, running_server):
+        code, body = _post_error(running_server, "/v1/influence", payload={})
+        assert code == 400
+        assert "'node' is required" in body["error"]["message"]
+
+    def test_bad_json_400(self, running_server):
+        code, body = _post_error(running_server, "/v1/spread", raw=b"{not json")
+        assert code == 400
+        assert "not valid JSON" in body["error"]["message"]
+
+    def test_non_object_body_400(self, running_server):
+        code, body = _post_error(running_server, "/v1/spread", raw=b"[1, 2]")
+        assert code == 400
+        assert "JSON object" in body["error"]["message"]
+
+    def test_bad_seeds_type_400(self, running_server):
+        code, body = _post_error(
+            running_server, "/v1/spread", payload={"seeds": "a,b"}
+        )
+        assert code == 400
+        assert "'seeds' must be a list" in body["error"]["message"]
+
+    def test_bad_k_400(self, running_server):
+        for bad_k in (0, -3, "five", True):
+            code, body = _post_error(running_server, "/v1/topk", payload={"k": bad_k})
+            assert code == 400
+            assert "'k' must be a positive integer" in body["error"]["message"]
+
+    def test_unknown_topk_method_400(self, running_server):
+        code, body = _post_error(
+            running_server, "/v1/topk", payload={"k": 2, "method": "psychic"}
+        )
+        assert code == 400
+        assert "unknown method" in body["error"]["message"]
+
+    def test_oversize_body_413(self, running_server):
+        huge = b"x" * 8192  # server fixture caps bodies at 4096
+        code, body = _post_error(running_server, "/v1/spread", raw=huge)
+        assert code == 413
+        assert "exceeds" in body["error"]["message"]
+
+    def test_reload_bad_path_400(self, running_server):
+        code, body = _post_error(running_server, "/v1/reload", payload={"path": 7})
+        assert code == 400
+        assert "'path' must be a snapshot path" in body["error"]["message"]
+
+    def test_reload_missing_snapshot_400(self, running_server, tmp_path):
+        code, body = _post_error(
+            running_server,
+            "/v1/reload",
+            payload={"path": str(tmp_path / "missing.snap")},
+        )
+        assert code == 400
+        assert "cannot read snapshot" in body["error"]["message"]
+
+
+class TestDrainAndLifecycle:
+    def test_draining_rejects_with_503(self, running_server):
+        running_server.draining = True
+        code, body = _post_error(running_server, "/v1/spread", payload={"seeds": []})
+        assert code == 503
+        assert "draining" in body["error"]["message"]
+
+    def test_draining_healthz_reports_503(self, running_server):
+        running_server.draining = True
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(_url(running_server, "/v1/healthz"), timeout=10)
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read())
+        assert payload["status"] == "draining"
+
+    def test_metrics_stay_up_while_draining(self, running_server):
+        running_server.draining = True
+        with urllib.request.urlopen(_url(running_server, "/v1/metrics"), timeout=10) as response:
+            assert response.status == 200
+
+    def test_install_drain_handler_registers_signals(self, exact_oracle):
+        service = OracleService(exact_oracle)
+        server = build_server(service, port=0)
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        try:
+            install_drain_handler(server)
+            handler = signal.getsignal(signal.SIGTERM)
+            assert callable(handler)
+            assert signal.getsignal(signal.SIGINT) is handler
+            thread = threading.Thread(target=serve_until_shutdown, args=(server,))
+            thread.start()
+            handler(signal.SIGTERM, None)  # what the kernel would deliver
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert server.draining
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+            server.server_close()
+
+    def test_build_server_validates_limit(self, exact_oracle):
+        service = OracleService(exact_oracle)
+        with pytest.raises(ValueError, match="max_request_bytes"):
+            build_server(service, port=0, max_request_bytes=0)
+
+    def test_default_limit_constant(self):
+        assert DEFAULT_MAX_REQUEST_BYTES == 1 << 20
+
+    def test_reload_round_trip(self, exact_oracle, tmp_path):
+        from repro.serve.snapshot import save_oracle
+
+        service = OracleService(exact_oracle, cache_size=8)
+        server = build_server(service, port=0)
+        thread = threading.Thread(target=serve_until_shutdown, args=(server,))
+        thread.start()
+        try:
+            path = str(tmp_path / "swap.snap")
+            save_oracle(path, exact_oracle)
+            status, payload = _post(server, "/v1/reload", {"path": path})
+            assert status == 200
+            assert payload["generation"] == 2
+            status, health = _get(server, "/v1/healthz")
+            assert health["generation"] == 2
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)

@@ -321,6 +321,35 @@ class TestSerialization:
         with pytest.raises(ValueError, match="Pareto"):
             VersionedHLL.from_dict(payload)
 
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=1, max_value=10**6),
+            ),
+            max_size=80,
+        ),
+        precision=st.integers(min_value=2, max_value=6),
+        salt=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_lossless(self, items, precision, salt):
+        """Property: to_dict → from_dict reproduces the sketch exactly —
+        same payload, same cardinality at every deadline seen."""
+        sketch = VersionedHLL(precision=precision, salt=salt)
+        for item, timestamp in items:
+            sketch.add(item, timestamp)
+        payload = sketch.to_dict()
+        restored = VersionedHLL.from_dict(payload)
+        assert restored.to_dict() == payload
+        assert restored.precision == sketch.precision
+        assert restored.salt == sketch.salt
+        assert restored.cardinality() == sketch.cardinality()
+        for _, timestamp in items[:10]:
+            assert restored.cardinality_within(timestamp) == (
+                sketch.cardinality_within(timestamp)
+            )
+
 
 class TestCellLengths:
     def test_lengths_reported_per_cell(self):

@@ -418,3 +418,80 @@ class TestSpread:
             ["spread", log_file, "--seeds", "a", "--probability", "2.0"]
         )
         assert code == 1
+
+
+class TestSnapshotCommand:
+    def test_save_and_load_approx(self, log_file, tmp_path):
+        snap = str(tmp_path / "oracle.snap")
+        code, output = run_cli(
+            ["snapshot", "save", log_file, "--kind", "approx",
+             "--precision", "5", "-o", snap]
+        )
+        assert code == 0
+        assert "wrote approx snapshot" in output
+        code, output = run_cli(["snapshot", "load", snap])
+        assert code == 0
+        assert "kind:      approx" in output
+        assert "all CRCs verified" in output
+
+    def test_save_and_load_exact(self, log_file, tmp_path):
+        snap = str(tmp_path / "oracle.snap")
+        code, output = run_cli(
+            ["snapshot", "save", log_file, "--kind", "exact", "-o", snap]
+        )
+        assert code == 0
+        assert "wrote exact snapshot" in output
+        code, output = run_cli(["snapshot", "load", snap])
+        assert code == 0
+        assert "kind:      exact" in output
+
+    def test_saved_snapshot_is_loadable_by_the_library(self, log_file, tmp_path):
+        from repro.serve.snapshot import load_oracle
+
+        snap = str(tmp_path / "oracle.snap")
+        run_cli(["snapshot", "save", log_file, "--kind", "exact", "-o", snap])
+        oracle = load_oracle(snap)
+        assert set(oracle.nodes()) == {"a", "b", "c", "d"}
+
+    def test_load_missing_file_is_one_line_error(self, tmp_path, capsys):
+        code, _ = run_cli(["snapshot", "load", str(tmp_path / "absent.snap")])
+        assert code == 1
+        error = capsys.readouterr().err
+        assert error.startswith("error: ")
+        assert error.count("\n") == 1
+
+    def test_load_corrupt_file_is_error(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.snap")
+        with open(bad, "wb") as handle:
+            handle.write(b"repro-snap/1\n" + b"\x00" * 3)
+        code, _ = run_cli(["snapshot", "load", bad])
+        assert code == 1
+        assert "truncated" in capsys.readouterr().err
+
+    def test_save_requires_output(self, log_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot", "save", log_file])
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "oracle.snap"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.cache_size == 1024
+        assert args.max_request_bytes is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "oracle.snap", "--host", "0.0.0.0", "--port", "0",
+             "--cache-size", "0", "--max-request-bytes", "2048"]
+        )
+        assert args.port == 0
+        assert args.cache_size == 0
+        assert args.max_request_bytes == 2048
+
+    def test_missing_snapshot_is_error(self, tmp_path, capsys):
+        code, _ = run_cli(["serve", str(tmp_path / "absent.snap")])
+        assert code == 1
+        assert "cannot read snapshot" in capsys.readouterr().err

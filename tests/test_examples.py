@@ -23,7 +23,7 @@ def example_paths():
 
 
 class TestExamples:
-    def test_five_examples_present(self):
+    def test_six_examples_present(self):
         names = {os.path.basename(path) for path in example_paths()}
         assert names == {
             "quickstart.py",
@@ -31,6 +31,7 @@ class TestExamples:
             "viral_cascades.py",
             "window_sensitivity.py",
             "live_monitoring.py",
+            "serve_demo.py",
         }
 
     @pytest.mark.parametrize("path", example_paths(), ids=os.path.basename)
