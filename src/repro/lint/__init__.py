@@ -9,7 +9,11 @@ rests on but the Python type system never sees:
 * a runtime contract layer (:mod:`repro.lint.contracts`) whose
   ``@invariant`` decorator self-checks the λ-map and vHLL dominance
   invariants on every update when ``REPRO_DEBUG_CONTRACTS=1`` and is a
-  zero-cost identity otherwise.
+  zero-cost identity otherwise;
+* a runtime lock sanitizer (:mod:`repro.lint.locktrace`) that traces
+  lock acquisition order and hold times when ``REPRO_DEBUG_LOCKS=1`` —
+  the dynamic counterpart of the static concurrency rules R201–R205 in
+  :mod:`repro.lint.concurrency` — and patches nothing otherwise.
 
 This package deliberately depends on nothing outside the standard
 library so that the algorithm modules can import the contract decorators
@@ -32,23 +36,27 @@ from repro.lint.engine import (
     lint_project_sources,
     lint_source,
 )
+from repro.lint.locktrace import LOCKS_ENV, locks_enabled
 from repro.lint.project import ProjectIndex
 from repro.lint.reporting import render_json, render_text
-from repro.lint.rules import Rule, all_rules, get_rule
+from repro.lint.rules import Rule, all_rules, expand_rule_selectors, get_rule
 from repro.lint.sarif import render_sarif
 
 __all__ = [
     "Baseline",
     "CONTRACTS_ENV",
     "ContractViolation",
+    "LOCKS_ENV",
     "LintEngine",
     "ProjectIndex",
     "Rule",
     "Violation",
     "all_rules",
     "contracts_enabled",
+    "expand_rule_selectors",
     "get_rule",
     "invariant",
+    "locks_enabled",
     "lint_paths",
     "lint_project_sources",
     "lint_source",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Baseline", "BaselineError", "normalize_path"]
 
@@ -95,7 +95,9 @@ class Baseline:
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
 
-    def apply(self, violations: Iterable) -> Tuple[list, int, list]:
+    def apply(
+        self, violations: Iterable, active_rules: Optional[Set[str]] = None
+    ) -> Tuple[list, int, list]:
         """Split a run into ``(new, suppressed_count, stale_entries)``.
 
         Up to ``count`` occurrences of each baselined key are suppressed
@@ -103,8 +105,17 @@ class Baseline:
         file — is the one reported).  ``stale_entries`` lists baseline
         keys whose recorded count exceeds what the run produced: fixed
         debt whose entries should be retired with ``--update-baseline``.
+
+        ``active_rules`` names the rule ids this run actually executed
+        (``None`` = all): entries for rules outside the set are neither
+        spent nor reported stale, so ``--select``/``--ignore`` subset
+        runs do not masquerade unexecuted debt as fixed.
         """
-        budget = dict(self.entries)
+        budget = {
+            key: count
+            for key, count in self.entries.items()
+            if active_rules is None or key[1] in active_rules
+        }
         new: list = []
         suppressed = 0
         for violation in sorted(violations, key=lambda v: (v.path, v.line, v.col)):

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from repro.lint.baseline import Baseline, BaselineError
 from repro.lint.engine import LintEngine
 from repro.lint.reporting import render_json, render_text
-from repro.lint.rules import all_rules, select_rules
+from repro.lint.rules import all_rules, expand_rule_selectors, select_rules
 from repro.lint.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
@@ -44,7 +44,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all rules)",
+        help="comma-separated rule ids or prefixes to run (e.g. "
+        "'--select R2' runs the whole concurrency pass; default: all rules)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids or prefixes to skip (applied after "
+        "--select)",
     )
     parser.add_argument(
         "--baseline",
@@ -106,14 +113,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     try:
-        rules = (
-            select_rules(part.strip() for part in options.select.split(","))
+        selected = (
+            expand_rule_selectors(options.select.split(","))
             if options.select
-            else None
+            else [rule.rule_id for rule in all_rules()]
         )
+        if options.ignore:
+            ignored = set(expand_rule_selectors(options.ignore.split(",")))
+            selected = [rule_id for rule_id in selected if rule_id not in ignored]
     except KeyError as exc:
         print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if not selected:
+        print(
+            "repro-lint: error: --select/--ignore left no rules to run",
+            file=sys.stderr,
+        )
+        return 2
+    filtered = bool(options.select or options.ignore)
+    rules = select_rules(selected) if filtered else None
 
     engine = LintEngine(
         rules, jobs=options.jobs, reference_roots=options.reference_roots
@@ -150,7 +168,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except BaselineError as exc:
             print(f"repro-lint: error: {exc}", file=sys.stderr)
             return 2
-        violations, suppressed, stale = baseline.apply(violations)
+        active_rules = set(selected) if filtered else None
+        violations, suppressed, stale = baseline.apply(
+            violations, active_rules=active_rules
+        )
 
     if options.format == "sarif":
         print(render_sarif(violations, files_checked))

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
+from repro.lint import concurrency  # noqa: F401 — registers R201–R205
 from repro.lint import rules_project  # noqa: F401 — registers R101–R105
 from repro.lint.project import ProjectIndex, collect_reference_identifiers
 from repro.lint.rules import Rule, all_rules

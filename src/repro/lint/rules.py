@@ -41,6 +41,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "select_rules",
+    "expand_rule_selectors",
     "NoWallClockOrUnseededRandom",
     "ValidateAlgorithmParameters",
     "NoMutationAfterSort",
@@ -120,6 +121,32 @@ def get_rule(rule_id: str) -> Rule:
 def select_rules(ids) -> list:
     """The subset of the registry named by ``ids`` (ordered, validated)."""
     return [get_rule(rule_id) for rule_id in sorted(set(ids))]
+
+
+def expand_rule_selectors(selectors) -> List[str]:
+    """Rule ids matching a list of exact-id or prefix selectors.
+
+    ``R201`` matches only itself; ``R2`` matches every registered rule
+    whose id starts with ``R2``.  A selector matching nothing raises
+    ``KeyError`` (the CLI maps that to a usage error), so typos never
+    silently lint with an empty rule set.
+    """
+    matched: set = set()
+    for selector in selectors:
+        selector = selector.strip()
+        if not selector:
+            continue
+        if selector in REGISTRY:
+            matched.add(selector)
+            continue
+        prefixed = [rule_id for rule_id in REGISTRY if rule_id.startswith(selector)]
+        if not prefixed:
+            raise KeyError(
+                f"selector {selector!r} matches no rule; known rules: "
+                f"{', '.join(sorted(REGISTRY))}"
+            )
+        matched.update(prefixed)
+    return sorted(matched)
 
 
 # ----------------------------------------------------------------------
@@ -486,8 +513,15 @@ TIMING_ATTRS = frozenset(
 )
 
 #: Files allowed to read the clock directly: the instrumented layer
-#: itself.  Matched against normalised path suffixes.
-TIMING_EXEMPT_SUFFIXES = ("repro/utils/timer.py", "utils/timer.py")
+#: itself, plus the runtime lock sanitizer (it timestamps acquire/release
+#: pairs and must not route through the layer it instruments).  Matched
+#: against normalised path suffixes.
+TIMING_EXEMPT_SUFFIXES = (
+    "repro/utils/timer.py",
+    "utils/timer.py",
+    "repro/lint/locktrace.py",
+    "lint/locktrace.py",
+)
 
 
 def timing_exempt(path: str, subpackage: Optional[str]) -> bool:

@@ -27,8 +27,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.obs.export import from_jsonl, render_report, to_jsonl, to_prometheus
-from repro.obs.registry import (
+# The lock sanitizer must patch the threading factories before anything
+# here creates a lock: REPRO_DEBUG_LOCKS=1 then traces the registry's
+# per-family locks and the span recorder along with the serve layer.
+# With the flag unset this is a single env read and patches nothing.
+from repro.lint import locktrace as _locktrace
+
+_locktrace.install_from_env()
+
+from repro.obs.export import from_jsonl, render_report, to_jsonl, to_prometheus  # noqa: E402
+from repro.obs.registry import (  # noqa: E402
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     OBS_ENV,
@@ -39,7 +47,7 @@ from repro.obs.registry import (
     ObsState,
     exponential_buckets,
 )
-from repro.obs.spans import NOOP_SPAN, SpanHandle, SpanListener, SpanRecorder
+from repro.obs.spans import NOOP_SPAN, SpanHandle, SpanListener, SpanRecorder  # noqa: E402
 
 __all__ = [
     "OBS_ENV",

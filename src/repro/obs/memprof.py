@@ -79,7 +79,7 @@ class SpanMemoryProfiler(SpanListener):
     def __init__(self) -> None:
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._stats: Dict[SpanPath, _PathStats] = {}
+        self._stats: Dict[SpanPath, _PathStats] = {}  # repro-lint: guarded-by=_lock
 
     # -- listener callbacks ---------------------------------------------
     def _open(self) -> List[_OpenSpan]:

@@ -113,8 +113,10 @@ class SpanProfiler:
     def __init__(self, span_provider: Optional[Callable[[], Tuple[str, ...]]] = None) -> None:
         self._span_provider = span_provider or (lambda: ())
         self._local = threading.local()
-        self._states: List[_ThreadState] = []
+        self._states: List[_ThreadState] = []  # repro-lint: guarded-by=_lock
         self._lock = threading.Lock()
+        # Benign-race memo cache: worst case two threads compute the same
+        # code-object key and one write wins — deliberately unguarded.
         self._key_cache: Dict[object, Optional[str]] = {}
         self._enabled = False
         self._backend = ""

@@ -123,8 +123,8 @@ class Metric:
         # One lock per metric *family*: children share the parent's lock so
         # a snapshot sees a consistent family.
         self._lock = lock if lock is not None else threading.Lock()
-        self._label_values = label_values
-        self._children: Dict[LabelKey, "Metric"] = {}
+        self._label_values = label_values  # immutable after construction
+        self._children: Dict[LabelKey, "Metric"] = {}  # repro-lint: guarded-by=_lock
 
     # -- labels ---------------------------------------------------------
     def labels(self, **labels: object) -> "Metric":
@@ -137,7 +137,10 @@ class Metric:
         if not labels:
             return self
         key: LabelKey = tuple(sorted((k, str(v)) for k, v in labels.items()))
-        child = self._children.get(key)
+        # Deliberate double-checked fast path: a bare read of the dict is
+        # safe under the GIL (children are only ever added, never
+        # replaced), and a miss re-checks under the lock below.
+        child = self._children.get(key)  # repro-lint: disable=R201
         if child is None:
             with self._lock:
                 child = self._children.get(key)
@@ -156,10 +159,16 @@ class Metric:
 
     # -- export ---------------------------------------------------------
     def _iter_family(self) -> Iterator["Metric"]:
-        """Self plus every labelled child, parent first."""
+        """Self plus every labelled child, parent first.
+
+        The child list is snapshotted under the family lock before
+        anything is yielded, so consumers never observe a half-added
+        child and never run their bodies inside the lock.
+        """
+        with self._lock:
+            children = [self._children[key] for key in sorted(self._children)]
         yield self
-        for key in sorted(self._children):
-            yield self._children[key]
+        yield from children
 
     def samples(self) -> List[dict]:
         """One export dict per family member that has recorded anything."""
@@ -200,7 +209,7 @@ class Counter(Metric):
 
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-        self._value = 0.0
+        self._value = 0.0  # repro-lint: guarded-by=_lock
 
     def _make_child(self, key: LabelKey) -> "Counter":
         return Counter(self.name, self.description, self._state, self._lock, key)
@@ -220,18 +229,22 @@ class Counter(Metric):
     @property
     def value(self) -> float:
         """The accumulated count."""
-        return self._value
+        with self._lock:
+            return self._value
 
     def _has_data(self) -> bool:
-        return self._value != 0.0 or not self._children
+        with self._lock:
+            return self._value != 0.0 or not self._children
 
     def _sample(self) -> dict:
         sample = self._base_sample()
-        sample["value"] = self._value
+        with self._lock:
+            sample["value"] = self._value
         return sample
 
     def _reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
 
 class Gauge(Metric):
@@ -243,8 +256,8 @@ class Gauge(Metric):
 
     def __init__(self, *args: object, **kwargs: object) -> None:
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-        self._value = 0.0
-        self._touched = False
+        self._value = 0.0  # repro-lint: guarded-by=_lock
+        self._touched = False  # repro-lint: guarded-by=_lock
 
     def _make_child(self, key: LabelKey) -> "Gauge":
         return Gauge(self.name, self.description, self._state, self._lock, key)
@@ -275,19 +288,23 @@ class Gauge(Metric):
     @property
     def value(self) -> float:
         """The current gauge value."""
-        return self._value
+        with self._lock:
+            return self._value
 
     def _has_data(self) -> bool:
-        return self._touched or not self._children
+        with self._lock:
+            return self._touched or not self._children
 
     def _sample(self) -> dict:
         sample = self._base_sample()
-        sample["value"] = self._value
+        with self._lock:
+            sample["value"] = self._value
         return sample
 
     def _reset(self) -> None:
-        self._value = 0.0
-        self._touched = False
+        with self._lock:
+            self._value = 0.0
+            self._touched = False
 
 
 class HistogramTimer:
@@ -351,12 +368,12 @@ class Histogram(Metric):
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError(f"histogram {name} needs at least one bucket bound")
-        self._buckets = bounds
-        self._bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf tail
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
+        self._buckets = bounds  # immutable after construction
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +Inf tail; repro-lint: guarded-by=_lock
+        self._count = 0  # repro-lint: guarded-by=_lock
+        self._sum = 0.0  # repro-lint: guarded-by=_lock
+        self._min = float("inf")  # repro-lint: guarded-by=_lock
+        self._max = float("-inf")  # repro-lint: guarded-by=_lock
 
     def _make_child(self, key: LabelKey) -> "Histogram":
         return Histogram(
@@ -399,59 +416,74 @@ class Histogram(Metric):
         return HistogramTimer(self)
 
     # -- stats ----------------------------------------------------------
+    # The family lock is a plain (non-reentrant) Lock, so everything
+    # below reads the raw fields under the lock instead of chaining
+    # through the locking properties.
     @property
     def count(self) -> int:
         """Number of observations."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
         """Sum of all observed values."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     @property
     def minimum(self) -> float:
         """Smallest observation (0.0 when empty)."""
-        return self._min if self._count else 0.0
+        with self._lock:
+            return self._min if self._count else 0.0
 
     @property
     def maximum(self) -> float:
         """Largest observation (0.0 when empty)."""
-        return self._max if self._count else 0.0
+        with self._lock:
+            return self._max if self._count else 0.0
 
     def _has_data(self) -> bool:
-        return self._count > 0 or not self._children
+        with self._lock:
+            return self._count > 0 or not self._children
 
     def _sample(self) -> dict:
         sample = self._base_sample()
-        cumulative = []
-        running = 0
-        for bound, bucket_count in zip(self._buckets, self._bucket_counts):
-            running += bucket_count
-            cumulative.append([bound, running])
+        with self._lock:
+            cumulative = []
+            running = 0
+            for bound, bucket_count in zip(self._buckets, self._bucket_counts):
+                running += bucket_count
+                cumulative.append([bound, running])
+            count = self._count
+            total = self._sum
+            minimum = self._min if count else 0.0
+            maximum = self._max if count else 0.0
         sample.update(
             {
-                "count": self._count,
-                "sum": self._sum,
-                "min": self.minimum,
-                "max": self.maximum,
-                "mean": self.mean,
+                "count": count,
+                "sum": total,
+                "min": minimum,
+                "max": maximum,
+                "mean": total / count if count else 0.0,
                 "buckets": cumulative,
             }
         )
         return sample
 
     def _reset(self) -> None:
-        self._bucket_counts = [0] * (len(self._buckets) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
+        with self._lock:
+            self._bucket_counts = [0] * (len(self._buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
 
 
 class MetricRegistry:
@@ -464,7 +496,7 @@ class MetricRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, Metric] = {}  # repro-lint: guarded-by=_lock
         self.state = ObsState()
 
     # -- switching ------------------------------------------------------
@@ -532,7 +564,8 @@ class MetricRegistry:
 
     def get(self, name: str) -> Optional[Metric]:
         """The registered family called ``name``, or ``None``."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def metrics(self) -> List[Metric]:
         """Every registered family, sorted by name."""

@@ -78,6 +78,10 @@ class OracleHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.max_request_bytes = max_request_bytes
         self.draining = False
+        #: The drain helper thread spawned by the signal handler, kept so
+        #: :func:`serve_until_shutdown` can join it instead of abandoning
+        #: it as an anonymous daemon.
+        self.shutdown_thread: Optional[threading.Thread] = None
 
 
 class _RequestError(Exception):
@@ -287,15 +291,35 @@ def install_drain_handler(server: OracleHTTPServer) -> None:
 
     def _drain(signum: int, frame: object) -> None:
         server.draining = True
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        thread = threading.Thread(
+            target=server.shutdown, name="oracle-http-shutdown", daemon=True
+        )
+        server.shutdown_thread = thread
+        thread.start()
 
     signal.signal(signal.SIGTERM, _drain)
     signal.signal(signal.SIGINT, _drain)
 
 
-def serve_until_shutdown(server: OracleHTTPServer) -> None:
-    """Run the accept loop, then join in-flight handlers (the drain)."""
+def serve_until_shutdown(
+    server: OracleHTTPServer, shutdown_join_timeout: float = 10.0
+) -> None:
+    """Run the accept loop, then join in-flight handlers (the drain).
+
+    The drain helper spawned by :func:`install_drain_handler` is joined
+    with a timeout after the socket closes; a helper still alive then
+    means ``shutdown()`` itself is wedged, which is surfaced as a
+    ``RuntimeError`` instead of being silently abandoned.
+    """
     try:
         server.serve_forever()
     finally:
         server.server_close()
+        thread = server.shutdown_thread
+        if thread is not None:
+            thread.join(shutdown_join_timeout)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"drain thread {thread.name!r} still running "
+                    f"{shutdown_join_timeout:.0f}s after server_close()"
+                )

@@ -221,6 +221,7 @@ def run_loadgen(
     client: object,
     requests: Sequence[Dict[str, object]],
     threads: int = 4,
+    join_timeout: float = 120.0,
 ) -> LoadgenReport:
     """Drive ``requests`` through ``client.request`` with ``threads`` workers.
 
@@ -229,9 +230,17 @@ def run_loadgen(
     Requests are claimed from a shared cursor, so the partition across
     threads adapts to per-request latency — the closed loop never idles a
     worker while requests remain.
+
+    Workers are joined against one shared ``join_timeout`` budget; a
+    worker still running when it expires (a hung request with no client
+    timeout, a deadlock) is abandoned as a daemon and *reported as an
+    error* in the returned report rather than hanging the run forever or
+    silently vanishing at interpreter exit.
     """
     require_int(threads, "threads")
     require_positive(threads, "threads")
+    if join_timeout <= 0:
+        raise ValueError(f"join_timeout must be > 0, got {join_timeout}")
     send: Callable[[Dict[str, object]], object] = getattr(client, "request")
     cursor_lock = threading.Lock()
     cursor = [0]
@@ -264,24 +273,37 @@ def run_loadgen(
             local_counts[endpoint] = local_counts.get(endpoint, 0) + 1
 
     pool = [
-        threading.Thread(target=worker, args=(slot,), name=f"loadgen-{slot}")
+        threading.Thread(
+            target=worker, args=(slot,), name=f"loadgen-{slot}", daemon=True
+        )
         for slot in range(threads)
     ]
+    stuck: List[str] = []
     wall = Timer()
     with wall:
         for thread in pool:
             thread.start()
+        remaining = join_timeout
         for thread in pool:
-            thread.join()
+            if remaining > 0:
+                join_timer = Timer()
+                with join_timer:
+                    thread.join(remaining)
+                remaining = max(0.0, remaining - join_timer.elapsed)
+            if thread.is_alive():
+                stuck.append(
+                    f"{thread.name}: still running after the {join_timeout:.0f}s "
+                    "join timeout; worker abandoned"
+                )
 
     merged = sorted(value for bucket in latencies for value in bucket)
     per_endpoint: Dict[str, int] = {}
     for counts in endpoint_counts:  # repro-lint: budget=O(threads·endpoints)
         for endpoint, count in counts.items():
             per_endpoint[endpoint] = per_endpoint.get(endpoint, 0) + count
-    error_count = sum(len(bucket) for bucket in errors)
+    error_count = sum(len(bucket) for bucket in errors) + len(stuck)
     messages = tuple(
-        message for bucket in errors for message in bucket if message
+        [message for bucket in errors for message in bucket if message] + stuck
     )[:8]
     mean = sum(merged) / len(merged) if merged else 0.0
     return LoadgenReport(
@@ -320,6 +342,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     target.add_argument("--url", help="drive a running server, e.g. http://127.0.0.1:8750")
     parser.add_argument("--requests", type=int, default=1000, help="request count")
     parser.add_argument("--threads", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--join-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for workers before reporting them stuck",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload rng seed")
     parser.add_argument(
         "--pool-size", type=int, default=32, help="distinct recurring seed sets"
@@ -344,7 +372,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workload = synth_workload(
             nodes, args.requests, rng=args.seed, pool_size=args.pool_size
         )
-        report = run_loadgen(client, workload, threads=args.threads)
+        report = run_loadgen(
+            client, workload, threads=args.threads, join_timeout=args.join_timeout
+        )
     except (OSError, ValueError, urllib.error.URLError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

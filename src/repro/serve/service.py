@@ -68,9 +68,9 @@ class ReadWriteLock:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
+        self._readers = 0  # repro-lint: guarded-by=_cond
+        self._writer_active = False  # repro-lint: guarded-by=_cond
+        self._writers_waiting = 0  # repro-lint: guarded-by=_cond
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -118,11 +118,11 @@ class SpreadCache:
         require_int(capacity, "capacity")
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
-        self._capacity = capacity
-        self._entries: "OrderedDict[frozenset, float]" = OrderedDict()
+        self._capacity = capacity  # immutable after construction
+        self._entries: "OrderedDict[frozenset, float]" = OrderedDict()  # repro-lint: guarded-by=_lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # repro-lint: guarded-by=_lock
+        self.misses = 0  # repro-lint: guarded-by=_lock
 
     @property
     def capacity(self) -> int:
@@ -130,7 +130,8 @@ class SpreadCache:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: frozenset) -> object:
         """The cached spread for ``key``, or the module-private miss sentinel."""
@@ -196,14 +197,14 @@ class OracleService:
         source: str = "",
     ) -> None:
         require_type(oracle, "oracle", InfluenceOracle)
-        self._oracle = oracle
-        self._cache = SpreadCache(cache_size)
+        self._oracle = oracle  # repro-lint: guarded-by=_swap_lock
+        self._cache = SpreadCache(cache_size)  # internally synchronised
         self._swap_lock = ReadWriteLock()
         self._counts_lock = threading.Lock()
-        self._request_counts: Dict[str, int] = {}
-        self._error_counts: Dict[str, int] = {}
-        self._generation = 1
-        self._source = source
+        self._request_counts: Dict[str, int] = {}  # repro-lint: guarded-by=_counts_lock
+        self._error_counts: Dict[str, int] = {}  # repro-lint: guarded-by=_counts_lock
+        self._generation = 1  # repro-lint: guarded-by=_swap_lock
+        self._source = source  # repro-lint: guarded-by=_swap_lock
 
     @classmethod
     def from_snapshot(cls, path: str, cache_size: int = 1024) -> "OracleService":
@@ -371,11 +372,13 @@ class OracleService:
         """Kind, node count, provenance and generation of the live oracle."""
         with self._swap_lock.read():
             kind = type(self._oracle).__name__
+            generation = self._generation
+            source = self._source
         return {
             "kind": kind,
             "nodes": self.node_count(),
-            "generation": self._generation,
-            "source": self._source,
+            "generation": generation,
+            "source": source,
         }
 
     def stats(self) -> Dict[str, object]:
@@ -383,9 +386,11 @@ class OracleService:
         with self._counts_lock:
             requests = dict(self._request_counts)
             errors = dict(self._error_counts)
+        with self._swap_lock.read():
+            generation = self._generation
         return {
             "cache": self._cache.stats(),
             "requests": requests,
             "errors": errors,
-            "generation": self._generation,
+            "generation": generation,
         }

@@ -1,0 +1,1 @@
+"""Fixture modules exercised by the lint tests (not collected as tests)."""

@@ -9,6 +9,7 @@ import pytest
 from repro.lint.baseline import Baseline, BaselineError, normalize_path
 from repro.lint.cli import main
 from repro.lint.engine import Violation
+from repro.lint.rules import expand_rule_selectors
 
 
 def make(path="src/a.py", line=1, rule="R001", message="boom"):
@@ -153,3 +154,92 @@ class TestCliRatchet:
     def test_negative_jobs_is_usage_error(self, capsys):
         assert main(["--jobs", "-1"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    def test_prefix_expands_to_the_rule_family(self):
+        assert expand_rule_selectors(["R2"]) == [
+            "R201",
+            "R202",
+            "R203",
+            "R204",
+            "R205",
+        ]
+
+    def test_exact_ids_and_prefixes_mix_and_dedupe(self):
+        assert expand_rule_selectors(["R003", "R20", "R201"]) == [
+            "R003",
+            "R201",
+            "R202",
+            "R203",
+            "R204",
+            "R205",
+        ]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(KeyError, match="matches no rule"):
+            expand_rule_selectors(["R9"])
+
+    def test_empty_selectors_are_skipped(self):
+        assert expand_rule_selectors(["", " "]) == []
+
+    def test_cli_select_prefix_runs_the_family(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        # R003 fires on this source but no R2xx rule does.
+        assert main([str(bad), "--select", "R2"]) == 0
+        capsys.readouterr()
+        assert main([str(bad), "--select", "R0"]) == 1
+        capsys.readouterr()
+
+    def test_cli_ignore_subtracts_from_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        assert main([str(bad), "--select", "R003", "--ignore", "R003"]) == 2
+        assert "left no rules" in capsys.readouterr().err
+        # BAD_SOURCE violates R003 and R004; ignoring both leaves the
+        # remaining R0xx rules, which are clean here.
+        assert main([str(bad), "--select", "R0", "--ignore", "R003,R004"]) == 0
+        capsys.readouterr()
+
+    def test_cli_unknown_selector_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(bad), "--select", "R9"]) == 2
+        assert "matches no rule" in capsys.readouterr().err
+
+
+class TestApplyActiveRules:
+    def test_entries_outside_active_set_not_spent_or_stale(self):
+        baseline = Baseline.from_violations([make(), make(rule="R003")])
+        # Linting with only R003 active: the R001 entry is neither
+        # consumed nor reported stale.
+        new, suppressed, stale = baseline.apply(
+            [make(rule="R003")], active_rules={"R003"}
+        )
+        assert new == [] and suppressed == 1 and stale == []
+
+    def test_active_rule_debt_still_goes_stale(self):
+        baseline = Baseline.from_violations([make(), make(rule="R003")])
+        new, suppressed, stale = baseline.apply([], active_rules={"R003"})
+        assert new == [] and suppressed == 0
+        assert stale == [("src/a.py", "R003", "boom")]
+
+    def test_none_means_every_entry_participates(self):
+        baseline = Baseline.from_violations([make(), make(rule="R003")])
+        new, suppressed, stale = baseline.apply([make(rule="R003")])
+        assert suppressed == 1
+        assert stale == [("src/a.py", "R001", "boom")]
+
+    def test_cli_partial_select_does_not_invalidate_other_debt(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad), "--select", "R003", "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+
+        # A run restricted to the concurrency family must not report the
+        # recorded R003 debt as stale (those rules never ran).
+        assert main([str(bad), "--select", "R2", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" not in out

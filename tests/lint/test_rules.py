@@ -409,6 +409,11 @@ def test_rule_registry_is_complete():
         "R104",
         "R105",
         "R106",
+        "R201",
+        "R202",
+        "R203",
+        "R204",
+        "R205",
     ]
     assert isinstance(get_rule("R001"), NoWallClockOrUnseededRandom)
     assert isinstance(get_rule("R002"), ValidateAlgorithmParameters)

@@ -1,0 +1,202 @@
+"""Contention stress tests for ReadWriteLock and the hot-swap path.
+
+``sys.setswitchinterval(1e-6)`` forces the interpreter to switch threads
+roughly every bytecode, so the interleavings these tests care about
+(reader streams vs. a waiting writer, queries racing a swap) actually
+happen instead of hiding behind the default 5ms quantum.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.serve.service import OracleService, ReadWriteLock
+
+#: Generous wall-clock bound — failure means starvation, not slowness.
+STARVATION_TIMEOUT = 15.0
+
+
+@pytest.fixture
+def tiny_switch_interval():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def start_all(threads):
+    for thread in threads:
+        thread.start()
+
+
+def join_all(threads, timeout=STARVATION_TIMEOUT):
+    for thread in threads:
+        thread.join(timeout)
+        assert not thread.is_alive(), f"{thread.name} still running"
+
+
+class TestReadWriteLockStress:
+    def test_writer_not_starved_by_reader_stream(self, tiny_switch_interval):
+        """A writer must get in while readers keep arriving the whole time."""
+        rw = ReadWriteLock()
+        stop_readers = threading.Event()
+        writer_done = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop_readers.is_set():
+                with rw.read():
+                    pass
+
+        def writer():
+            with rw.write():
+                writer_done.set()
+
+        readers = [
+            threading.Thread(target=reader, name=f"reader-{i}") for i in range(4)
+        ]
+        start_all(readers)
+        try:
+            writer_thread = threading.Thread(target=writer, name="writer")
+            writer_thread.start()
+            # Readers only stop AFTER the writer succeeds: with no writer
+            # priority this would starve forever, not just run slowly.
+            if not writer_done.wait(STARVATION_TIMEOUT):
+                failures.append("writer starved by a continuous reader stream")
+        finally:
+            stop_readers.set()
+        join_all(readers + [writer_thread])
+        assert not failures, failures[0]
+
+    def test_writer_exclusion_invariant(self, tiny_switch_interval):
+        """No reader body overlaps a writer body, under heavy interleaving."""
+        rw = ReadWriteLock()
+        state_lock = threading.Lock()
+        state = {"readers": 0, "writers": 0}
+        violations = []
+        stop = threading.Event()
+
+        def note(kind, delta):
+            with state_lock:
+                state[kind] += delta
+                if state["writers"] and (state["readers"] or state["writers"] > 1):
+                    violations.append(dict(state))
+
+        def reader():
+            while not stop.is_set():
+                with rw.read():
+                    note("readers", 1)
+                    note("readers", -1)
+
+        def writer():
+            for _ in range(50):
+                with rw.write():
+                    note("writers", 1)
+                    note("writers", -1)
+
+        readers = [
+            threading.Thread(target=reader, name=f"reader-{i}") for i in range(3)
+        ]
+        writers = [
+            threading.Thread(target=writer, name=f"writer-{i}") for i in range(2)
+        ]
+        start_all(readers + writers)
+        try:
+            join_all(writers)
+        finally:
+            stop.set()
+        join_all(readers)
+        assert violations == [], f"exclusion violated: {violations[0]}"
+
+
+class TestHotSwapStress:
+    SWAPS = 150
+
+    def test_queries_never_observe_a_torn_snapshot(
+        self, tiny_switch_interval, exact_oracle, approx_oracle
+    ):
+        """info() fields must all come from the same oracle generation.
+
+        The swapper alternates two oracles with distinct kinds and source
+        tags; any query that sees the new kind with the old source (or
+        vice versa) has read across a half-applied swap.
+        """
+        service = OracleService(exact_oracle, cache_size=64, source="exact")
+        expected_kind = {
+            "exact": type(exact_oracle).__name__,
+            "approx": type(approx_oracle).__name__,
+        }
+        swapper_done = threading.Event()
+        torn = []
+        errors = []
+
+        def swapper():
+            try:
+                for index in range(self.SWAPS):
+                    if index % 2 == 0:
+                        service.swap_oracle(approx_oracle, source="approx")
+                    else:
+                        service.swap_oracle(exact_oracle, source="exact")
+            finally:
+                swapper_done.set()
+
+        def querier():
+            node = next(iter(exact_oracle.nodes()))
+            while not swapper_done.is_set():
+                try:
+                    snapshot = service.info()
+                    if snapshot["kind"] != expected_kind[snapshot["source"]]:
+                        torn.append(snapshot)
+                    value = service.influence(node)
+                    if not value >= 0.0:
+                        errors.append(f"negative influence {value!r}")
+                    spread = service.spread([node])
+                    if not spread >= 0.0:
+                        errors.append(f"negative spread {spread!r}")
+                except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                    errors.append(repr(exc))
+
+        queriers = [
+            threading.Thread(target=querier, name=f"querier-{i}") for i in range(4)
+        ]
+        swap_thread = threading.Thread(target=swapper, name="swapper")
+        start_all(queriers + [swap_thread])
+        join_all(queriers + [swap_thread])
+
+        assert torn == [], f"torn snapshot observed: {torn[0]}"
+        assert errors == [], f"query failed during swaps: {errors[0]}"
+        assert service.info()["generation"] == 1 + self.SWAPS
+
+    def test_stats_generation_monotonic_during_swaps(
+        self, tiny_switch_interval, exact_oracle, approx_oracle
+    ):
+        service = OracleService(exact_oracle, cache_size=8, source="exact")
+        swapper_done = threading.Event()
+        regressions = []
+
+        def swapper():
+            try:
+                for index in range(self.SWAPS):
+                    oracle = approx_oracle if index % 2 == 0 else exact_oracle
+                    service.swap_oracle(oracle, source=str(index))
+            finally:
+                swapper_done.set()
+
+        def watcher():
+            last = 0
+            while not swapper_done.is_set():
+                generation = service.stats()["generation"]
+                if generation < last:
+                    regressions.append((last, generation))
+                last = generation
+
+        watchers = [
+            threading.Thread(target=watcher, name=f"watcher-{i}") for i in range(2)
+        ]
+        swap_thread = threading.Thread(target=swapper, name="swapper")
+        start_all(watchers + [swap_thread])
+        join_all(watchers + [swap_thread])
+        assert regressions == [], f"generation went backwards: {regressions[0]}"
