@@ -123,11 +123,11 @@ class ApproxIRS:
             seconds = build_span.duration_ns / 1e9
             if seconds > 0:
                 _THROUGHPUT.labels(window=window).set(len(log) / seconds)
-            cell_len = _CELL_LEN.labels(window=window)
+            observe = _CELL_LEN.labels(window=window).observe
             for sketch in index._sketches.values():  # repro-lint: budget=O(n·β)
                 for length in sketch.cell_lengths():
                     if length:
-                        cell_len.observe(length)
+                        observe(length)
         return index
 
     def _process_batch(self, records: list[Interaction]) -> None:
@@ -138,13 +138,13 @@ class ApproxIRS:
             return
         snapshots: Dict[Node, Optional[VersionedHLL]] = {}
         for record in records:
-            if record.target not in snapshots:
-                existing = self._sketches.get(record.target)
-                snapshots[record.target] = existing.copy() if existing else None
+            target = record.target
+            if target not in snapshots:
+                existing = self._sketches.get(target)
+                snapshots[target] = existing.copy() if existing else None  # repro-lint: disable=R301 (tied-batch snapshot isolation requires a pre-batch copy)
         for record in records:
-            self._apply(
-                record.source, record.target, record.time, snapshots[record.target]
-            )
+            target = record.target
+            self._apply(record.source, target, record.time, snapshots[target])
         self._last_time = records[0].time
 
     def process(self, source: Node, target: Node, time: int) -> None:
@@ -264,9 +264,7 @@ class ApproxIRS:
             sketch = self._sketches.get(seed)
             if sketch is None:
                 continue
-            for i, value in enumerate(sketch.effective_registers()):
-                if value > combined[i]:
-                    combined[i] = value
+            sketch.max_registers_into(combined)
         return estimate_from_registers(combined, self._num_cells)
 
     def entry_count(self) -> int:

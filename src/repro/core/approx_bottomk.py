@@ -73,18 +73,18 @@ class BottomKIRS:
     def _process_batch(self, records: list[Interaction]) -> None:
         snapshots: Dict[Node, Optional[VersionedBottomK]] = {}
         for record in records:
-            if record.target not in snapshots:
-                existing = self._sketches.get(record.target)
+            target = record.target
+            if target not in snapshots:
+                existing = self._sketches.get(target)
                 if existing is None:
-                    snapshots[record.target] = None
+                    snapshots[target] = None
                 else:
                     clone = VersionedBottomK(self._k, self._salt)
                     clone.merge(existing)
-                    snapshots[record.target] = clone
+                    snapshots[target] = clone
         for record in records:
-            self._apply(
-                record.source, record.target, record.time, snapshots[record.target]
-            )
+            target = record.target
+            self._apply(record.source, target, record.time, snapshots[target])
         self._last_time = records[0].time
 
     def _apply(

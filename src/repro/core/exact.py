@@ -114,13 +114,13 @@ class ExactIRS:
             return
         snapshots: Dict[Node, Optional[IRSSummary]] = {}
         for record in records:
-            if record.target not in snapshots:
-                existing = self._summaries.get(record.target)
-                snapshots[record.target] = existing.copy() if existing else None
+            target = record.target
+            if target not in snapshots:
+                existing = self._summaries.get(target)
+                snapshots[target] = existing.copy() if existing else None  # repro-lint: disable=R301 (tied-batch snapshot isolation requires a pre-batch copy)
         for record in records:
-            self._apply(
-                record.source, record.target, record.time, snapshots[record.target]
-            )
+            target = record.target
+            self._apply(record.source, target, record.time, snapshots[target])
         self._last_time = records[0].time
 
     def process(self, source: Node, target: Node, time: int) -> None:

@@ -94,20 +94,24 @@ def greedy_top_k(
     selected: List[Node] = []
     covered = oracle.new_accumulator()
     chosen: set = set()
+    influence = oracle.influence
+    oracle_gain = oracle.gain
+    count_cutoff = _CUTOFF_BREAKS.inc
+    count_eval = _GAIN_EVALS.inc
     while len(selected) < k and len(chosen) < len(pool):
         best_gain = -1.0
         best_node: Optional[Node] = None
         for node in pool:
             if node in chosen:
                 continue
-            upper_bound = oracle.influence(node)
+            upper_bound = influence(node)
             if best_node is not None and best_gain >= upper_bound:
                 # Candidates are influence-sorted, so no later node can beat
                 # the current best — the paper's `if gain > σu: break`.
-                _CUTOFF_BREAKS.inc()
+                count_cutoff()
                 break
-            _GAIN_EVALS.inc()
-            gain = oracle.gain(covered, node)
+            count_eval()
+            gain = oracle_gain(covered, node)
             if gain > best_gain:
                 best_gain = gain
                 best_node = node

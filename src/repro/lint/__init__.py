@@ -13,7 +13,13 @@ rests on but the Python type system never sees:
 * a runtime lock sanitizer (:mod:`repro.lint.locktrace`) that traces
   lock acquisition order and hold times when ``REPRO_DEBUG_LOCKS=1`` —
   the dynamic counterpart of the static concurrency rules R201–R205 in
-  :mod:`repro.lint.concurrency` — and patches nothing otherwise.
+  :mod:`repro.lint.concurrency` — and patches nothing otherwise;
+* a runtime allocation sanitizer (:mod:`repro.lint.alloctrace`) that
+  measures per-call and per-site allocations in hot regions when
+  ``REPRO_DEBUG_ALLOC=1`` — the dynamic counterpart of the hot-path
+  performance rules R301–R305 in :mod:`repro.lint.hotpath` — and whose
+  ``@hotpath``/``@coldpath`` decorators double as the static pass's
+  hot-region seed and boundary marks.
 
 This package deliberately depends on nothing outside the standard
 library so that the algorithm modules can import the contract decorators
@@ -22,6 +28,10 @@ without creating import cycles.
 
 from __future__ import annotations
 
+# NOTE: the @hotpath/@coldpath decorators are imported from
+# repro.lint.alloctrace directly (like @invariant from .contracts) —
+# re-exporting them here would shadow the repro.lint.hotpath submodule.
+from repro.lint.alloctrace import ALLOC_ENV, allocs_enabled
 from repro.lint.contracts import (
     CONTRACTS_ENV,
     ContractViolation,
@@ -43,6 +53,7 @@ from repro.lint.rules import Rule, all_rules, expand_rule_selectors, get_rule
 from repro.lint.sarif import render_sarif
 
 __all__ = [
+    "ALLOC_ENV",
     "Baseline",
     "CONTRACTS_ENV",
     "ContractViolation",
@@ -52,6 +63,7 @@ __all__ = [
     "Rule",
     "Violation",
     "all_rules",
+    "allocs_enabled",
     "contracts_enabled",
     "expand_rule_selectors",
     "get_rule",

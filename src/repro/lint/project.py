@@ -226,6 +226,9 @@ class ModuleInfo:
     path: str
     tree: ast.Module
     subpackage: Optional[str]
+    #: Raw source text, when available — lets rules read marker comments
+    #: (``# repro-lint: hotpath``) that the AST does not carry.
+    source: str = ""
     is_package_init: bool = False
     imports: Dict[str, str] = field(default_factory=dict)
     import_bindings: Set[str] = field(default_factory=set)
@@ -256,6 +259,10 @@ class ProjectIndex:
         #: Identifiers referenced outside ``src`` (tests, benchmarks,
         #: examples) — external liveness roots for R104.
         self.external_identifiers: Set[str] = set(external_identifiers or ())
+        #: Hot-region seed qualnames resolved from ``benchmarks/bench_*.py``
+        #: call roots — filled by the engine via
+        #: :func:`repro.lint.hotpath.collect_benchmark_roots`.
+        self.benchmark_roots: Set[str] = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -269,16 +276,25 @@ class ProjectIndex:
         """Build an index from parsed :class:`~repro.lint.engine.FileContext`s."""
         index = cls(external_identifiers)
         for ctx in contexts:
-            index.add_module(ctx.path, ctx.tree, ctx.subpackage)
+            index.add_module(
+                ctx.path, ctx.tree, ctx.subpackage, getattr(ctx, "source", "")
+            )
         return index
 
-    def add_module(self, path: str, tree: ast.Module, subpackage: Optional[str]) -> ModuleInfo:
+    def add_module(
+        self,
+        path: str,
+        tree: ast.Module,
+        subpackage: Optional[str],
+        source: str = "",
+    ) -> ModuleInfo:
         name = module_name_for_path(path)
         info = ModuleInfo(
             name=name,
             path=path,
             tree=tree,
             subpackage=subpackage,
+            source=source,
             is_package_init=Path(path).name == "__init__.py",
         )
         self._collect_imports(info)

@@ -29,6 +29,16 @@ _TOOL_VERSION = "1.0.0"  # tracks the repro package version in pyproject.toml
 _INFO_URI = "https://example.invalid/repro/docs/static_analysis.md"
 
 
+def _rule_anchor(rule) -> str:
+    """GitHub heading anchor for the rule's catalogue entry.
+
+    ``docs/static_analysis.md`` titles every rule ``### R301 —
+    `hot-loop-allocation```; GitHub slugs that to ``r301--hot-loop-allocation``
+    (lowercase, punctuation dropped, spaces to dashes).
+    """
+    return f"{rule.rule_id.lower()}--{rule.name}"
+
+
 def _rule_descriptor(rule) -> dict:
     return {
         "id": rule.rule_id,
@@ -36,7 +46,7 @@ def _rule_descriptor(rule) -> dict:
         "shortDescription": {"text": rule.name.replace("-", " ")},
         "fullDescription": {"text": rule.description},
         "defaultConfiguration": {"level": "error"},
-        "helpUri": _INFO_URI,
+        "helpUri": f"{_INFO_URI}#{_rule_anchor(rule)}",
     }
 
 

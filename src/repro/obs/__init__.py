@@ -35,6 +35,13 @@ from repro.lint import locktrace as _locktrace
 
 _locktrace.install_from_env()
 
+# Same early-install contract for the allocation sanitizer: with
+# REPRO_DEBUG_ALLOC=1 tracemalloc must be tracing before the hot sketch/
+# core modules run; unset, this is one env read.
+from repro.lint import alloctrace as _alloctrace
+
+_alloctrace.install_from_env()
+
 from repro.obs.export import from_jsonl, render_report, to_jsonl, to_prometheus  # noqa: E402
 from repro.obs.registry import (  # noqa: E402
     DEFAULT_COUNT_BUCKETS,

@@ -29,6 +29,7 @@ from bisect import bisect_left, bisect_right
 from typing import Hashable, Iterable, Optional
 
 import repro.obs as obs
+from repro.lint.alloctrace import hotpath
 from repro.lint.contracts import invariant, post_vhll_mutation
 from repro.obs import OBS_STATE as _OBS
 from repro.sketch.hashing import split_hash
@@ -132,6 +133,7 @@ class VersionedHLL:
         self.add_pair(cell, r, timestamp)
 
     @invariant(post_vhll_mutation)
+    @hotpath
     def add_pair(self, cell: int, r: int, timestamp: int) -> None:
         """Insert a raw ``(ρ=r, t=timestamp)`` pair into ``cell``.
 
@@ -143,13 +145,16 @@ class VersionedHLL:
         self._check_time(timestamp)
         self._insert_pair(cell, r, timestamp)
 
+    # repro-lint: hotpath
     def _insert_pair(self, cell: int, r: int, timestamp: int) -> None:
         """:meth:`add_pair` without argument validation, for trusted loops."""
         if not 0 <= cell < self._m:
             raise ValueError(f"cell must be in [0, {self._m}), got {cell}")
         pairs = self._cells[cell]
         if pairs is None:
-            self._cells[cell] = [(timestamp, r)]
+            # The (t, ρ) list-of-tuples cell layout is the paper's data
+            # structure; the packed-array rewrite is ROADMAP item 3.
+            self._cells[cell] = [(timestamp, r)]  # repro-lint: disable=R304 (packed layout is ROADMAP item 3)
             if _OBS.enabled:
                 _PAIRS_INSERTED.inc()
             return
@@ -177,13 +182,14 @@ class VersionedHLL:
         n = len(pairs)
         while j < n and pairs[j][1] <= r:
             j += 1
-        pairs[i:j] = [(timestamp, r)]
+        pairs[i:j] = [(timestamp, r)]  # repro-lint: disable=R304 (packed layout is ROADMAP item 3)
         if _OBS.enabled:
             _PAIRS_INSERTED.inc()
             if j > i:
                 _PAIRS_PRUNED.inc(j - i)
 
     @invariant(post_vhll_mutation)
+    @hotpath
     def merge(self, other: "VersionedHLL") -> None:
         """In-place union with ``other`` (no time constraint).
 
@@ -191,13 +197,15 @@ class VersionedHLL:
         several seed nodes (paper §4.1).
         """
         self._check_compatible(other)
+        insert_pair = self._insert_pair
         for cell_index, pairs in enumerate(other._cells):  # repro-lint: budget=O(m·F)
             if not pairs:
                 continue
-            for t, r in pairs:
-                self._insert_pair(cell_index, r, t)
+            for t, r in pairs:  # repro-lint: disable=R304 (packed layout is ROADMAP item 3)
+                insert_pair(cell_index, r, t)
 
     @invariant(post_vhll_mutation)
+    @hotpath
     def merge_within(self, other: "VersionedHLL", start_time: int, window: int) -> None:
         """Merge ``other`` keeping only pairs with ``t − start_time < window``.
 
@@ -211,17 +219,19 @@ class VersionedHLL:
         require_int(window, "window")
         require_non_negative(window, "window")
         deadline = start_time + window  # exclusive: keep t < deadline
+        insert_pair = self._insert_pair
         for cell_index, pairs in enumerate(other._cells):  # repro-lint: budget=O(m·F)
             if not pairs:
                 continue
-            for t, r in pairs:
+            for t, r in pairs:  # repro-lint: disable=R304 (packed layout is ROADMAP item 3)
                 if t >= deadline:
                     break  # pairs are time-sorted; the rest are too late
-                self._insert_pair(cell_index, r, t)
+                insert_pair(cell_index, r, t)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @hotpath
     def effective_registers(
         self,
         min_time: Optional[int] = None,
@@ -233,23 +243,56 @@ class VersionedHLL:
         within a cell, the qualifying pair with the largest ``t`` carries the
         maximum ρ, so each cell is answered with one bisection.
         """
-        registers = []
+        registers: list[int] = []
+        append = registers.append
         for pairs in self._cells:
             if not pairs:
-                registers.append(0)
+                append(0)
                 continue
             hi = len(pairs)
             if max_time is not None:
                 hi = bisect_right(pairs, max_time, key=_TIME_KEY)
             if hi == 0:
-                registers.append(0)
+                append(0)
                 continue
             t, r = pairs[hi - 1]
             if min_time is not None and t < min_time:
-                registers.append(0)
+                append(0)
             else:
-                registers.append(r)
+                append(r)
         return registers
+
+    @hotpath
+    def max_registers_into(
+        self,
+        registers: list[int],
+        min_time: Optional[int] = None,
+        max_time: Optional[int] = None,
+    ) -> None:
+        """Cell-wise ``registers[i] = max(registers[i], effective ρ of cell i)``.
+
+        The allocation-free form of :meth:`effective_registers` for union
+        queries: the oracle folds many sketches into one accumulator array
+        without materialising an intermediate register list per sketch.
+        ``registers`` must have length ``num_cells``.
+        """
+        if len(registers) != self._m:
+            raise ValueError(
+                f"registers has length {len(registers)}, expected {self._m}"
+            )
+        for cell, pairs in enumerate(self._cells):
+            if not pairs:
+                continue
+            hi = len(pairs)
+            if max_time is not None:
+                hi = bisect_right(pairs, max_time, key=_TIME_KEY)
+            if hi == 0:
+                continue
+            t, r = pairs[hi - 1]
+            if min_time is not None and t < min_time:
+                continue
+            if r > registers[cell]:
+                registers[cell] = r
 
     def cardinality(self) -> float:
         """Estimate of the number of distinct items ever added."""
@@ -268,7 +311,7 @@ class VersionedHLL:
     def copy(self) -> "VersionedHLL":
         """An independent deep copy (cell lists are not shared)."""
         clone = VersionedHLL(self._precision, self._salt)
-        clone._cells = [list(pairs) if pairs else None for pairs in self._cells]
+        clone._cells = [list(pairs) if pairs else None for pairs in self._cells]  # repro-lint: disable=R301 (deliberate deep copy; cell lists must not be shared)
         return clone
 
     # ------------------------------------------------------------------

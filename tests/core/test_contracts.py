@@ -182,6 +182,13 @@ def test_invariant_is_identity_when_disabled():
 @needs_disabled
 def test_wired_methods_are_undecorated_when_disabled():
     from repro.core.exact import ExactIRS
+    from repro.lint.alloctrace import is_enabled as alloc_sanitizer_enabled
+
+    if alloc_sanitizer_enabled():
+        # The @hotpath allocation wrapper legitimately wraps these same
+        # methods when the sanitizer is on; only the contracts layer is
+        # asserted zero-cost here.
+        pytest.skip("suite is running with REPRO_DEBUG_ALLOC=1")
 
     assert not hasattr(IRSSummary.add, "__wrapped__")
     assert not hasattr(IRSSummary.merge_within, "__wrapped__")

@@ -177,3 +177,19 @@ def test_results_sorted_and_columns_one_based():
 def test_empty_run_has_empty_results():
     document = json.loads(render_sarif([], files_checked=5))
     assert document["runs"][0]["results"] == []
+
+
+def test_per_rule_help_uris_anchor_into_the_catalogue_doc():
+    document = json.loads(render_sarif([], files_checked=0))
+    rules = document["runs"][0]["tool"]["driver"]["rules"]
+    by_id = {rule["id"]: rule for rule in rules}
+    registry = {r.rule_id: r for r in all_rules()}
+    for rule_id, descriptor in by_id.items():
+        # Each rule links to its own heading, not the generic doc root.
+        anchor = f"#{rule_id.lower()}--{registry[rule_id].name}"
+        assert descriptor["helpUri"].endswith(f"static_analysis.md{anchor}")
+        assert descriptor["shortDescription"]["text"]
+    # The new families carry per-rule anchors like everything else.
+    assert by_id["R205"]["helpUri"].endswith(f"#r205--{registry['R205'].name}")
+    assert by_id["R301"]["helpUri"].endswith("#r301--hot-loop-allocation")
+    assert by_id["R305"]["helpUri"].endswith("#r305--hot-linear-membership")
