@@ -2,19 +2,27 @@
 
 Not a paper figure, but the operational face of the paper's headline
 claim: because oracle queries are microseconds, a single process can
-sustain thousands of influence queries per second.  Three measurements:
+sustain thousands of influence queries per second.  Four measurements:
 
 * snapshot round trip (save + load) of the sketch oracle;
 * ``OracleService.spread`` with a cold cache vs the LRU hit path;
 * a 4-thread closed-loop loadgen acceptance run (≥1k requests, zero
-  errors tolerated) whose latency percentiles land in the results table.
+  errors tolerated) whose latency percentiles land in the results table;
+* ``test_serve_trend_rounds`` — several loadgen rounds aggregated into a
+  ``repro-servebench/1`` snapshot (median/IQR of each percentile across
+  rounds) written to ``$REPRO_SERVE_SNAPSHOT`` when set, the input of
+  the ``repro obs diff`` serve trend gate in CI (baseline:
+  ``benchmarks/results/SERVE_8.json``).
 """
+
+import os
 
 import pytest
 from conftest import register_text
 
 from repro.core.approx import ApproxIRS
 from repro.core.oracle import ApproxInfluenceOracle
+from repro.obs import trend
 from repro.serve.loadgen import ServiceClient, run_loadgen, synth_workload
 from repro.serve.service import OracleService
 from repro.serve.snapshot import load_oracle, save_oracle
@@ -23,6 +31,13 @@ WINDOW_PERCENT = 20
 PRECISION = 9
 LOADGEN_REQUESTS = 2_000
 LOADGEN_THREADS = 4
+
+#: Loadgen rounds aggregated into one serve-trend snapshot; the per-round
+#: workload is smaller than the acceptance run so five rounds stay cheap.
+TREND_ROUNDS = 5
+TREND_REQUESTS = 1_000
+
+SERVE_SNAPSHOT_ENV = "REPRO_SERVE_SNAPSHOT"
 
 
 @pytest.fixture(scope="module")
@@ -100,3 +115,47 @@ def test_serve_loadgen_acceptance(benchmark, serve_oracle):
         + f"\ncache_hit_rate  {cache['hit_rate']:.1%}"
         + f"\ncache_entries   {cache['size']}/{cache['capacity']}",
     )
+
+
+def test_serve_trend_rounds(serve_oracle):
+    """Aggregate ``TREND_ROUNDS`` loadgen rounds into a serve-trend snapshot.
+
+    Each round drives a deterministic workload (a fresh seed per round,
+    so the rounds differ the way real traffic samples do); the across-
+    round median/IQR of every latency percentile plus the throughput
+    become one ``repro-servebench/1`` document.  Runs as a plain test —
+    no ``benchmark`` fixture — so CI invokes it standalone with
+    ``-k serve_trend`` and writes the snapshot via the env var.
+    """
+    service = OracleService(serve_oracle, cache_size=256)
+    nodes = sorted(serve_oracle.nodes(), key=repr)
+    client = ServiceClient(service)
+    reports = []
+    for round_index in range(TREND_ROUNDS):
+        workload = synth_workload(nodes, TREND_REQUESTS, rng=13 + round_index)
+        report = run_loadgen(client, workload, threads=LOADGEN_THREADS)
+        assert report.errors == 0
+        assert report.requests == TREND_REQUESTS
+        reports.append(report.to_dict())
+    snapshot = trend.serve_bench_snapshot(
+        reports,
+        context={
+            "suite": "bench_serve",
+            "rounds": TREND_ROUNDS,
+            "requests_per_round": TREND_REQUESTS,
+            "threads": LOADGEN_THREADS,
+            "dataset": "slashdot-sim",
+            "window_percent": WINDOW_PERCENT,
+            "precision": PRECISION,
+        },
+    )
+    by_name = {entry["name"]: entry for entry in snapshot["benchmarks"]}
+    lines = [
+        f"{name:<26} median {entry['median']:>10.3f}  "
+        f"iqr {entry['iqr']:>8.3f}  ({TREND_ROUNDS} rounds)"
+        for name, entry in sorted(by_name.items())
+    ]
+    register_text("Serve-trend", "\n".join(lines))
+    path = os.environ.get(SERVE_SNAPSHOT_ENV, "")
+    if path:
+        trend.write_bench_snapshot(path, snapshot)

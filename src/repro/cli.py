@@ -13,8 +13,9 @@ Four subcommands cover the typical workflow end to end:
 * ``report``   — regenerate the full experiment report (markdown) at a
   chosen scale;
 * ``obs``      — observability utilities: render a recorded metrics
-  snapshot (``obs report``) or compare two benchmark snapshots under the
-  regression gate (``obs diff``);
+  snapshot (``obs report``), compare two benchmark snapshots under the
+  regression gate (``obs diff``), or evaluate per-route serving SLOs
+  against a metrics snapshot (``obs slo``);
 * ``snapshot`` — build an influence oracle from an edge list and persist
   it as a ``repro-snap/1`` file (``snapshot save``), or verify and
   summarise an existing one (``snapshot load``);
@@ -222,6 +223,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report regressions but always exit 0 (CI soft gate)",
     )
+    obs_slo = obs_actions.add_parser(
+        "slo",
+        help="evaluate per-route serving SLOs against a metrics snapshot",
+    )
+    obs_slo.add_argument(
+        "--input", "-i", required=True, help="JSON-lines metrics snapshot file"
+    )
+    obs_slo.add_argument(
+        "--spec",
+        default="",
+        metavar="PATH",
+        help="JSON SLO spec file (default: the built-in per-route objectives)",
+    )
+    obs_slo.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output rendering (default: table)",
+    )
+    obs_slo.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any route breaches its SLO (CI gate)",
+    )
 
     snapshot_cmd = commands.add_parser(
         "snapshot", help="build/inspect repro-snap/1 oracle snapshots"
@@ -270,6 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="largest accepted request body (default: 1 MiB)",
+    )
+    serve_cmd.add_argument(
+        "--access-log",
+        default="",
+        metavar="PATH",
+        help="append one JSON line per request to PATH (the in-memory "
+        "ring behind /v1/debug/requests is always on)",
+    )
+    serve_cmd.add_argument(
+        "--slo",
+        default="",
+        metavar="PATH",
+        help="JSON SLO spec file for /v1/healthz evaluation "
+        "(default: the built-in per-route objectives)",
     )
 
     return parser
@@ -365,6 +404,8 @@ def _command_report(args: argparse.Namespace, out) -> int:
 def _command_obs(args: argparse.Namespace, out) -> int:
     if args.obs_command == "diff":
         return _command_obs_diff(args, out)
+    if args.obs_command == "slo":
+        return _command_obs_slo(args, out)
     return _command_obs_report(args, out)
 
 
@@ -399,6 +440,28 @@ def _command_obs_diff(args: argparse.Namespace, out) -> int:
     diff = trend.diff_snapshots(old, new, threshold=args.threshold)
     print(trend.render_diff(diff, args.format), file=out, end="")
     if trend.has_regressions(diff) and not args.warn_only:
+        return 1
+    return 0
+
+
+def _command_obs_slo(args: argparse.Namespace, out) -> int:
+    from repro.obs import slo
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ValueError(
+            f"{args.input}: cannot read metrics snapshot: {exc.strerror or exc}"
+        ) from exc
+    try:
+        samples = from_jsonl(text)
+    except ValueError as exc:
+        raise ValueError(f"{args.input}: {exc}") from exc
+    specs = slo.load_slo_specs(args.spec) if args.spec else list(slo.DEFAULT_SLOS)
+    statuses = slo.evaluate_slos(specs, samples)
+    print(slo.render_slo(statuses, format=args.format), file=out, end="")
+    if args.check and any(not status.ok for status in statuses):
         return 1
     return 0
 
@@ -448,13 +511,26 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     )
     from repro.serve.service import OracleService
 
+    from repro.obs.slo import load_slo_specs
+    from repro.serve.accesslog import AccessLog
+
+    # Config files are validated before the (expensive) snapshot load so
+    # a typo in the SLO spec fails fast.
+    slo_specs = load_slo_specs(args.slo) if args.slo else None
     service = OracleService.from_snapshot(args.snapshot, cache_size=args.cache_size)
     limit = (
         args.max_request_bytes
         if args.max_request_bytes is not None
         else DEFAULT_MAX_REQUEST_BYTES
     )
-    server = build_server(service, host=args.host, port=args.port, max_request_bytes=limit)
+    server = build_server(
+        service,
+        host=args.host,
+        port=args.port,
+        max_request_bytes=limit,
+        access_log=AccessLog(path=args.access_log),
+        slo_specs=slo_specs,
+    )
     install_drain_handler(server)
     host, port = server.server_address[:2]
     info = service.info()

@@ -80,6 +80,8 @@ __all__ = [
     "span",
     "span_records",
     "current_span_path",
+    "request_context",
+    "current_context",
     "snapshot",
     "write_snapshot",
     "reset",
@@ -90,6 +92,7 @@ __all__ = [
     "profile",
     "memprof",
     "trend",
+    "slo",
 ]
 
 #: The process-wide registry every instrumented module records into.
@@ -146,6 +149,17 @@ def current_span_path() -> Tuple[str, ...]:
     return _SPANS.current_path()
 
 
+def request_context(value: str):
+    """Attribute this thread's spans/profiles to ``value`` (see
+    :meth:`SpanRecorder.context`); a context manager, safe while disabled."""
+    return _SPANS.context(value)
+
+
+def current_context() -> Tuple[str, ...]:
+    """This thread's active trace-context values, outermost first."""
+    return _SPANS.current_context()
+
+
 def snapshot(include_spans: bool = True) -> List[dict]:
     """Every metric sample (plus span records) as plain dicts."""
     samples = REGISTRY.samples()
@@ -191,7 +205,7 @@ def write_snapshot(path: str, format: Optional[str] = None) -> None:
 # obs.trend); bind them to this registry's span recorder so profiler
 # attributions group under the live span tree, and so enabling either
 # profiler also turns the span/metric layer on.
-from repro.obs import memprof, profile, trend  # noqa: E402  (needs _SPANS)
+from repro.obs import memprof, profile, slo, trend  # noqa: E402  (needs _SPANS)
 
 profile._bind(_SPANS.current_path, REGISTRY.enable)
 memprof._bind(_SPANS, REGISTRY.enable)

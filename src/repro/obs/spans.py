@@ -23,7 +23,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.registry import DEFAULT_TIME_BUCKETS, MetricRegistry
 
@@ -126,12 +127,47 @@ class SpanRecorder:
             self._local.stack = stack
         return stack
 
-    def current_path(self) -> Tuple[str, ...]:
-        """Names of this thread's active spans, outermost first."""
-        stack = getattr(self._local, "stack", None)
+    def _context_stack(self) -> List[str]:
+        stack = getattr(self._local, "context", None)
+        if stack is None:
+            stack = []
+            self._local.context = stack
+        return stack
+
+    @contextmanager
+    def context(self, value: str) -> Iterator[None]:
+        """Attribute this thread's spans to ``value`` for the ``with`` body.
+
+        A context is a synthetic path root — typically a request identity
+        like ``request:a1b2c3`` pushed by the serving tier — that prefixes
+        :meth:`current_path` and is stamped onto every span record
+        finished underneath it.  The profiler and memory profiler group
+        by path, so all work done inside the body is attributed to the
+        owning context.  Contexts nest; the API works (cheaply) even
+        while observability is disabled so request identity never
+        depends on the recording switch.
+        """
+        stack = self._context_stack()
+        stack.append(str(value))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def current_context(self) -> Tuple[str, ...]:
+        """This thread's active context values, outermost first."""
+        stack = getattr(self._local, "context", None)
         if not stack:
             return ()
-        return tuple(span.name for span in stack)
+        return tuple(stack)
+
+    def current_path(self) -> Tuple[str, ...]:
+        """Active context values plus span names, outermost first."""
+        prefix = self.current_context()
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return prefix
+        return prefix + tuple(span.name for span in stack)
 
     # -- listeners ------------------------------------------------------
     def add_listener(self, listener: SpanListener) -> None:
@@ -174,6 +210,7 @@ class SpanRecorder:
             "labels": span.labels,
             "duration_ns": span.duration_ns,
             "parent": span._parent,
+            "context": list(self.current_context()),
             "thread": threading.current_thread().name,
         }
         with self._lock:

@@ -43,9 +43,11 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_PREFIX",
+    "SERVE_SCHEMA",
     "DEFAULT_THRESHOLD",
     "machine_fingerprint",
     "bench_snapshot",
+    "serve_bench_snapshot",
     "write_bench_snapshot",
     "load_bench_snapshot",
     "validate_snapshot",
@@ -59,11 +61,31 @@ __all__ = [
 BENCH_SCHEMA = "repro-bench/1"
 BENCH_SCHEMA_PREFIX = "repro-bench/"
 
+#: Serving-tier latency/throughput snapshots written by ``bench_serve``
+#: (aggregated loadgen rounds).  Same entry shape as :data:`BENCH_SCHEMA`
+#: plus an optional per-entry ``direction``; the comparator refuses to
+#: diff a serve snapshot against a build/query one.
+SERVE_SCHEMA = "repro-servebench/1"
+SERVE_SCHEMA_PREFIX = "repro-servebench/"
+
+#: Every schema this build can read, mapped to its version marker.
+_SUPPORTED_SCHEMAS = {
+    BENCH_SCHEMA_PREFIX: BENCH_SCHEMA,
+    SERVE_SCHEMA_PREFIX: SERVE_SCHEMA,
+}
+
 #: Default relative slowdown (on the median) that rule 1 tolerates.
 DEFAULT_THRESHOLD = 0.10
 
-#: Numeric timing fields every benchmark entry must carry (seconds).
+#: Numeric timing fields every benchmark entry must carry (seconds for
+#: ``repro-bench``; milliseconds or requests/s for ``repro-servebench``).
 TIMING_FIELDS = ("median", "q1", "q3", "iqr")
+
+#: Per-entry comparison direction: latencies regress when they grow,
+#: throughput regresses when it shrinks.
+DIRECTION_LOWER = "lower_is_better"
+DIRECTION_HIGHER = "higher_is_better"
+_DIRECTIONS = (DIRECTION_LOWER, DIRECTION_HIGHER)
 
 
 def machine_fingerprint() -> Dict[str, object]:
@@ -110,6 +132,69 @@ def bench_snapshot(
     }
 
 
+def _quartiles(values: Sequence[float]) -> Dict[str, float]:
+    """``median``/``q1``/``q3``/``iqr`` of ``values`` (linear interpolation)."""
+    if not values:
+        raise ValueError("cannot take quartiles of an empty sequence")
+    ordered = sorted(float(v) for v in values)
+
+    def _at(quantile: float) -> float:
+        position = quantile * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    q1, median, q3 = _at(0.25), _at(0.5), _at(0.75)
+    return {"median": median, "q1": q1, "q3": q3, "iqr": q3 - q1}
+
+
+def serve_bench_snapshot(
+    reports: Sequence[Mapping[str, object]],
+    counters: Optional[Mapping[str, float]] = None,
+    context: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Aggregate loadgen round reports into a ``repro-servebench/1`` doc.
+
+    ``reports`` holds one ``LoadgenReport.to_dict()`` mapping per round;
+    each latency percentile (and the throughput) becomes one benchmark
+    entry whose ``median``/``q1``/``q3`` summarise the *across-round*
+    distribution, so the IQR-overlap noise rule of :func:`diff_snapshots`
+    applies to serve numbers exactly as it does to build/query timings.
+    Throughput entries carry ``direction: higher_is_better``.
+    """
+    if not reports:
+        raise ValueError("serve_bench_snapshot needs at least one loadgen report")
+    percentiles = ("p50", "p95", "p99", "mean")
+    entries: List[Dict[str, object]] = []
+    for key in percentiles:
+        samples = [float(report["latency_ms"][key]) for report in reports]  # type: ignore[index,call-overload]
+        entry: Dict[str, object] = {"name": f"loadgen.{key}_ms", "rounds": len(reports)}
+        entry.update(_quartiles(samples))
+        entries.append(entry)
+    throughput: Dict[str, object] = {
+        "name": "loadgen.throughput_rps",
+        "rounds": len(reports),
+        "direction": DIRECTION_HIGHER,
+    }
+    throughput.update(_quartiles([float(r["throughput_rps"]) for r in reports]))
+    entries.append(throughput)
+    entries.sort(key=lambda entry: entry["name"])  # type: ignore[arg-type,return-value]
+    totals = {
+        "loadgen.requests": float(sum(int(r["requests"]) for r in reports)),  # type: ignore[call-overload]
+        "loadgen.errors": float(sum(int(r["errors"]) for r in reports)),  # type: ignore[call-overload]
+    }
+    totals.update({str(k): float(v) for k, v in (counters or {}).items()})
+    return {
+        "schema": SERVE_SCHEMA,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "context": dict(context or {}),
+        "benchmarks": entries,
+        "counters": totals,
+    }
+
+
 def write_bench_snapshot(path: str, snapshot: Mapping[str, object]) -> None:
     """Validate and write ``snapshot`` to ``path`` as indented JSON."""
     validate_snapshot(snapshot)
@@ -123,14 +208,19 @@ def validate_snapshot(snapshot: object) -> None:
     if not isinstance(snapshot, dict):
         raise ValueError("bench snapshot must be a JSON object")
     schema = snapshot.get("schema")
-    if not isinstance(schema, str) or not schema.startswith(BENCH_SCHEMA_PREFIX):
+    prefix = next(
+        (p for p in _SUPPORTED_SCHEMAS if isinstance(schema, str) and schema.startswith(p)),
+        None,
+    )
+    if prefix is None:
         raise ValueError(
             f"not a bench snapshot: missing/foreign schema marker {schema!r} "
-            f"(expected {BENCH_SCHEMA!r})"
+            f"(expected {BENCH_SCHEMA!r} or {SERVE_SCHEMA!r})"
         )
-    if schema != BENCH_SCHEMA:
+    if schema != _SUPPORTED_SCHEMAS[prefix]:
         raise ValueError(
-            f"unsupported bench schema {schema!r}; this build reads {BENCH_SCHEMA!r}"
+            f"unsupported bench schema {schema!r}; this build reads "
+            f"{_SUPPORTED_SCHEMAS[prefix]!r}"
         )
     benchmarks = snapshot.get("benchmarks")
     if not isinstance(benchmarks, list):
@@ -150,6 +240,12 @@ def validate_snapshot(snapshot: object) -> None:
                     f"benchmarks[{index}] ({name!r}): field {field!r} must be a "
                     f"non-negative number, got {value!r}"
                 )
+        direction = entry.get("direction", DIRECTION_LOWER)
+        if direction not in _DIRECTIONS:
+            raise ValueError(
+                f"benchmarks[{index}] ({name!r}): field 'direction' must be one "
+                f"of {_DIRECTIONS}, got {direction!r}"
+            )
     counters = snapshot.get("counters", {})
     if not isinstance(counters, dict):
         raise ValueError("bench snapshot field 'counters' must be an object")
@@ -213,6 +309,13 @@ def diff_snapshots(
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
+    old_schema = old.get("schema")
+    new_schema = new.get("schema")
+    if old_schema != new_schema:
+        raise ValueError(
+            f"cannot diff snapshots of different schemas: "
+            f"{old_schema!r} vs {new_schema!r}"
+        )
     old_entries = {entry["name"]: entry for entry in old["benchmarks"]}  # type: ignore[index,union-attr]
     new_entries = {entry["name"]: entry for entry in new["benchmarks"]}  # type: ignore[index,union-attr]
     rows: List[Dict[str, object]] = []
@@ -241,9 +344,14 @@ def diff_snapshots(
         new_median = float(after["median"])
         ratio = new_median / old_median if old_median > 0 else float("inf")
         overlap = _iqr_overlap(before, after)
-        if new_median > old_median * (1.0 + threshold) and not overlap:
+        direction = str(after.get("direction", before.get("direction", DIRECTION_LOWER)))
+        grew = new_median > old_median * (1.0 + threshold)
+        shrank = new_median < old_median * (1.0 - threshold)
+        if direction == DIRECTION_HIGHER:
+            grew, shrank = shrank, grew  # less throughput is the slowdown
+        if grew and not overlap:
             verdict = VERDICT_REGRESSION
-        elif new_median < old_median * (1.0 - threshold) and not overlap:
+        elif shrank and not overlap:
             verdict = VERDICT_IMPROVEMENT
         else:
             verdict = VERDICT_OK
@@ -255,6 +363,7 @@ def diff_snapshots(
                 "new_median": new_median,
                 "ratio": ratio,
                 "iqr_overlap": overlap,
+                "direction": direction,
             }
         )
     old_counters: Mapping[str, float] = old.get("counters", {})  # type: ignore[assignment]
@@ -272,7 +381,7 @@ def diff_snapshots(
             }
         )
     return {
-        "schema": BENCH_SCHEMA,
+        "schema": old_schema,
         "threshold": threshold,
         "rows": rows,
         "counters": counter_rows,

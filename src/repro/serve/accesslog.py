@@ -1,0 +1,167 @@
+"""Request identity and the structured JSON access log.
+
+Every request through the serving tier gets a **request id**: the
+inbound ``X-Request-Id`` header when the client sent a well-formed one
+(so ids minted by an upstream proxy or the load generator survive the
+hop), a freshly generated id otherwise.  The id is echoed in the
+response header, stamped onto the request's trace context
+(:func:`repro.obs.request_context`) so spans and profiler frames
+attribute under it, and written into the access log — the three legs
+that make a single slow request findable after the fact.
+
+The access log itself is one JSON object per line (sorted keys, append
+mode, flushed per record so a crash loses at most the in-flight line)
+plus a bounded in-memory ring of the most recent entries, served live at
+``/v1/debug/requests``.  The ring works even when no file path is
+configured, so the debug endpoint costs nothing to keep on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.utils.timer import wall_clock_unix
+from repro.utils.validation import require_int, require_type
+
+__all__ = [
+    "AccessLog",
+    "DEFAULT_RING_SIZE",
+    "REQUEST_ID_HEADER",
+    "RequestIdGenerator",
+    "normalize_request_id",
+]
+
+#: The trace-context header honoured inbound and echoed outbound.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Most recent access-log entries retained for ``/v1/debug/requests``.
+DEFAULT_RING_SIZE = 256
+
+#: Longest accepted inbound request id; longer values are replaced.
+MAX_REQUEST_ID_LENGTH = 128
+
+_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:-"
+)
+
+
+def normalize_request_id(raw: Optional[str]) -> Optional[str]:
+    """The validated form of an inbound request id, or ``None``.
+
+    Accepts 1–128 characters drawn from ``[A-Za-z0-9._:-]`` after
+    stripping surrounding whitespace; anything else (empty, oversized,
+    control characters, header-splitting attempts) is rejected so a
+    hostile client cannot inject log lines or mint unbounded label text.
+    """
+    if raw is None:
+        return None
+    candidate = raw.strip()
+    if not candidate or len(candidate) > MAX_REQUEST_ID_LENGTH:
+        return None
+    if not all(ch in _ID_CHARS for ch in candidate):
+        return None
+    return candidate
+
+
+class RequestIdGenerator:
+    """Mints process-unique request ids: ``<random prefix>-<sequence>``.
+
+    The prefix comes from ``os.urandom`` once per generator so two
+    serving processes restarted back to back cannot collide; the
+    sequence is an atomic counter (``itertools.count`` advances under
+    the GIL), so generation is lock-free on the request path.
+    """
+
+    def __init__(self) -> None:
+        self._prefix = os.urandom(4).hex()
+        self._sequence = itertools.count(1)
+
+    def next_id(self) -> str:
+        """A fresh id, e.g. ``"9f3a01bc-000017"``."""
+        return f"{self._prefix}-{next(self._sequence):06d}"
+
+
+class AccessLog:
+    """Structured JSON-lines access log plus a bounded in-memory ring.
+
+    ``path`` may be empty: the ring (and therefore the live debug
+    endpoint) still works, nothing touches the filesystem.  Records are
+    serialised outside the lock; the lock covers only the ring append
+    and the file write, so concurrent handler threads interleave whole
+    lines, never fragments.
+    """
+
+    def __init__(self, path: str = "", ring_size: int = DEFAULT_RING_SIZE) -> None:
+        require_type(path, "path", str)
+        require_int(ring_size, "ring_size")
+        if ring_size <= 0:
+            raise ValueError(f"ring_size must be > 0, got {ring_size}")
+        self.path = path
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=ring_size)  # repro-lint: guarded-by=_lock
+        self._dropped = 0  # repro-lint: guarded-by=_lock
+        self._handle = open(path, "a", encoding="utf-8") if path else None  # repro-lint: guarded-by=_lock
+
+    @property
+    def ring_size(self) -> int:
+        """Maximum number of entries the ring retains."""
+        # maxlen is frozen at construction — no lock needed to read it.
+        return self._ring.maxlen or 0  # repro-lint: disable=R201
+
+    def record(self, entry: Dict[str, object]) -> None:
+        """Append one entry (stamped with a ``ts`` wall-clock field)."""
+        stamped = dict(entry)
+        stamped.setdefault("ts", round(wall_clock_unix(), 6))
+        line = json.dumps(stamped, sort_keys=True, default=str)
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(stamped)
+            if self._handle is not None:
+                try:
+                    self._handle.write(line + "\n")
+                    self._handle.flush()
+                except OSError:
+                    # A full disk must not take the serving path down;
+                    # the ring keeps the recent window available.
+                    pass
+
+    def recent(self, limit: int = 0) -> List[Dict[str, object]]:
+        """The newest entries, oldest first (all of them when ``limit=0``)."""
+        require_int(limit, "limit")
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        with self._lock:
+            entries = list(self._ring)
+        return entries[-limit:] if limit else entries
+
+    def stats(self) -> Dict[str, object]:
+        """Ring occupancy and how many entries have scrolled out of it."""
+        with self._lock:
+            return {
+                "ring_entries": len(self._ring),
+                "ring_size": self._ring.maxlen,
+                "dropped_from_ring": self._dropped,
+                "path": self.path,
+            }
+
+    def close(self) -> None:
+        """Flush and close the file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

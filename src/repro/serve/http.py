@@ -4,20 +4,34 @@ A deliberately small, dependency-free server: Python's
 ``ThreadingHTTPServer`` (one thread per connection) in front of the
 read-write-locked service.  Routes:
 
-========================  ======  =====================================
-``/v1/healthz``           GET     liveness + oracle info (503 while draining)
-``/v1/metrics``           GET     Prometheus text of the whole obs registry
-``/v1/influence``         POST    ``{"node": x}`` → individual influence
-``/v1/spread``            POST    ``{"seeds": [...]}`` or ``{"seed_sets": [[...], ...]}``
-``/v1/topk``              POST    ``{"k": n, "method": "influence"|"greedy"|"celf"}``
-``/v1/reload``            POST    ``{"path": "..."}`` → hot snapshot swap
-========================  ======  =====================================
+=========================  ======  =====================================
+``/v1/healthz``            GET     liveness + oracle info + per-route SLO
+``/v1/metrics``            GET     Prometheus text of the whole obs registry
+``/v1/debug/requests``     GET     recent access-log entries (ring buffer)
+``/v1/influence``          POST    ``{"node": x}`` → individual influence
+``/v1/spread``             POST    ``{"seeds": [...]}`` or ``{"seed_sets": [[...], ...]}``
+``/v1/topk``               POST    ``{"k": n, "method": "influence"|"greedy"|"celf"}``
+``/v1/reload``             POST    ``{"path": "..."}`` → hot snapshot swap
+=========================  ======  =====================================
+
+**Request observability.**  Every request gets a request id — the
+inbound ``X-Request-Id`` header when well-formed, generated otherwise —
+echoed in the response header, pushed onto the tracing context
+(:func:`repro.obs.request_context`) so spans/profiler/memprof attribute
+the request's work under ``request:<id>``, and written to the structured
+access log (one JSON line per request: id, route, status, latency,
+bytes, cache hits/misses, snapshot generation).  Request metrics are
+labelled with the *matched* route (or the literal ``"unmatched"``), so a
+404 scan cannot mint unbounded label children; latency lands in
+``serve.http_request_seconds{route}`` on serving-scale buckets, which is
+what the per-route SLO evaluation in ``/v1/healthz`` reads.
 
 Error handling is uniform: every non-2xx response is a JSON envelope
 ``{"error": {"status": <int>, "message": <str>}}`` — 400 for malformed
 requests, 404 for unknown routes and unknown nodes, 405 for wrong
 methods, 413 when the body exceeds the request-size limit, 503 while the
-server drains, and 500 for anything unexpected.
+server drains, and 500 for anything unexpected (the swallowed traceback
+goes to the access log under the request's id, not into the response).
 
 Graceful shutdown: :func:`install_drain_handler` hooks SIGTERM/SIGINT to
 flip the server into *draining* (new requests get 503, ``/v1/healthz``
@@ -31,11 +45,21 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
-from repro.serve.service import GREEDY_METHODS, OracleService
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker
+from repro.serve.accesslog import (
+    DEFAULT_RING_SIZE,
+    REQUEST_ID_HEADER,
+    AccessLog,
+    RequestIdGenerator,
+    normalize_request_id,
+)
+from repro.serve.service import GREEDY_METHODS, SERVE_TIME_BUCKETS, OracleService
+from repro.utils.timer import Timer
 from repro.utils.validation import require_int, require_type
 
 __all__ = [
@@ -49,8 +73,18 @@ __all__ = [
 #: Largest accepted request body; a 10k-seed spread query is ~100 KB.
 DEFAULT_MAX_REQUEST_BYTES = 1 << 20
 
+#: Metric label for paths that matched no route (bounds cardinality).
+UNMATCHED_ROUTE = "unmatched"
+
 _HTTP_REQUESTS = obs.counter(
-    "serve.http_requests", "HTTP requests by route and response code."
+    "serve.http_requests", "HTTP requests by matched route and response code."
+)
+#: Pre-registered with serving-scale buckets so the ``serve.http_request``
+#: span below lands its durations here instead of on build-scale bounds.
+_HTTP_SECONDS = obs.histogram(
+    "serve.http_request_seconds",
+    "HTTP request latency by matched route.",
+    buckets=SERVE_TIME_BUCKETS,
 )
 
 
@@ -67,6 +101,8 @@ class OracleHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: OracleService,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        access_log: Optional[AccessLog] = None,
+        slo_specs: Optional[Sequence[SLOSpec]] = None,
     ) -> None:
         require_type(service, "service", OracleService)
         require_int(max_request_bytes, "max_request_bytes")
@@ -77,6 +113,9 @@ class OracleHTTPServer(ThreadingHTTPServer):
         super().__init__(address, OracleRequestHandler)
         self.service = service
         self.max_request_bytes = max_request_bytes
+        self.access_log = access_log if access_log is not None else AccessLog()
+        self.request_ids = RequestIdGenerator()
+        self.slo = SLOTracker(slo_specs if slo_specs is not None else DEFAULT_SLOS)
         self.draining = False
         #: The drain helper thread spawned by the signal handler, kept so
         #: :func:`serve_until_shutdown` can join it instead of abandoning
@@ -107,16 +146,18 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: object) -> None:
-        """Silence the default stderr access log (metrics cover it)."""
+        """Silence the stderr access log (the structured one replaces it)."""
 
     def _send_json(self, status: int, payload: object) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(REQUEST_ID_HEADER, self._request_id)
         self.end_headers()
         self.wfile.write(body)
-        _HTTP_REQUESTS.labels(route=self.path.split("?")[0], code=status).inc()
+        self._status = status
+        self._body_bytes = len(body)
 
     def _send_error_envelope(self, status: int, message: str) -> None:
         self._send_json(status, {"error": {"status": status, "message": message}})
@@ -148,27 +189,79 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
             raise _RequestError(400, "request body must be a JSON object")
         return parsed
 
+    def _resolve_request_id(self) -> str:
+        """Inbound ``X-Request-Id`` when well-formed, else a fresh id."""
+        inbound = normalize_request_id(self.headers.get(REQUEST_ID_HEADER))
+        if inbound is not None:
+            return inbound
+        return self.server.request_ids.next_id()
+
     def _dispatch(self, method: str) -> None:
         route = self.path.split("?")[0].rstrip("/") or "/"
+        matched = _ROUTES.get(route)
+        # Metrics and the access log carry the *matched* route (or the
+        # shared "unmatched" bucket) so scanning 404 paths and
+        # trailing-slash variants cannot mint new label children.
+        self._route_key = route if matched is not None else UNMATCHED_ROUTE
+        self._request_id = self._resolve_request_id()
+        self._status = 0
+        self._body_bytes = 0
+        self._error_note = ""
+        service = self.server.service
+        service.begin_cache_window()
+        timer = Timer()
+        with timer, obs.request_context(f"request:{self._request_id}"):
+            with obs.span("serve.http_request", route=self._route_key):
+                self._handle_routed(method, route, matched)
+        hits, misses = service.cache_window()
+        entry: Dict[str, object] = {
+            "request_id": self._request_id,
+            "method": method,
+            "route": self._route_key,
+            "path": self.path,
+            "status": self._status,
+            "latency_ms": round(timer.elapsed * 1e3, 4),
+            "bytes": self._body_bytes,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "generation": service.generation(),
+        }
+        if self._error_note:
+            entry["error"] = self._error_note
+        self.server.access_log.record(entry)
+        _HTTP_REQUESTS.labels(route=self._route_key, code=self._status).inc()
+
+    def _handle_routed(
+        self,
+        method: str,
+        route: str,
+        matched: Optional[Tuple[object, str]],
+    ) -> None:
         try:
-            handler, expected_method = _ROUTES.get(route, (None, None))
-            if handler is None:
+            if matched is None:
                 raise _RequestError(404, f"unknown route {route!r}")
+            handler, expected_method = matched
             if method != expected_method:
                 raise _RequestError(
                     405, f"route {route!r} only accepts {expected_method}"
                 )
-            if self.server.draining and route != "/v1/metrics":
+            if self.server.draining and route not in (
+                "/v1/metrics",
+                "/v1/debug/requests",
+            ):
                 if route == "/v1/healthz":
                     self._send_json(503, self._health_payload("draining"))
                     return
                 raise _RequestError(503, "server is draining; retry elsewhere")
-            handler(self)
+            handler(self)  # type: ignore[operator]
         except _RequestError as error:
             self._send_error_envelope(error.status, error.message)
         except (TypeError, ValueError) as error:
             self._send_error_envelope(400, str(error))
         except Exception as error:  # pragma: no cover - defensive backstop
+            # The envelope stays terse; the traceback goes to the access
+            # log under this request's id instead of being swallowed.
+            self._error_note = traceback.format_exc()
             self._send_error_envelope(500, f"internal error: {error}")
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming contract
@@ -181,12 +274,15 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
     def _health_payload(self, status: str) -> Dict[str, object]:
         info = self.server.service.info()
         stats = self.server.service.stats()
+        slo_statuses = self.server.slo.observe(obs.snapshot(include_spans=False))
         return {
             "status": status,
             "kind": info["kind"],
             "nodes": info["nodes"],
             "generation": info["generation"],
             "cache": stats["cache"],
+            "slo": [slo_status.to_dict() for slo_status in slo_statuses],
+            "slo_ok": all(slo_status.ok for slo_status in slo_statuses),
         }
 
     def _route_healthz(self) -> None:
@@ -197,9 +293,16 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; version=0.0.4")
         self.send_header("Content-Length", str(len(text)))
+        self.send_header(REQUEST_ID_HEADER, self._request_id)
         self.end_headers()
         self.wfile.write(text)
-        _HTTP_REQUESTS.labels(route="/v1/metrics", code=200).inc()
+        self._status = 200
+        self._body_bytes = len(text)
+
+    def _route_debug_requests(self) -> None:
+        log = self.server.access_log
+        entries = log.recent(limit=DEFAULT_RING_SIZE)
+        self._send_json(200, {"requests": entries, "stats": log.stats()})
 
     def _route_influence(self) -> None:
         body = self._read_body()
@@ -260,9 +363,10 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, self.server.service.reload(path))
 
 
-_ROUTES: Dict[str, Tuple[Optional[object], Optional[str]]] = {
+_ROUTES: Dict[str, Tuple[object, str]] = {
     "/v1/healthz": (OracleRequestHandler._route_healthz, "GET"),
     "/v1/metrics": (OracleRequestHandler._route_metrics, "GET"),
+    "/v1/debug/requests": (OracleRequestHandler._route_debug_requests, "GET"),
     "/v1/influence": (OracleRequestHandler._route_influence, "POST"),
     "/v1/spread": (OracleRequestHandler._route_spread, "POST"),
     "/v1/topk": (OracleRequestHandler._route_topk, "POST"),
@@ -275,9 +379,17 @@ def build_server(
     host: str = "127.0.0.1",
     port: int = 8750,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    access_log: Optional[AccessLog] = None,
+    slo_specs: Optional[Sequence[SLOSpec]] = None,
 ) -> OracleHTTPServer:
     """Bind an :class:`OracleHTTPServer`; ``port=0`` picks a free port."""
-    return OracleHTTPServer((host, port), service, max_request_bytes=max_request_bytes)
+    return OracleHTTPServer(
+        (host, port),
+        service,
+        max_request_bytes=max_request_bytes,
+        access_log=access_log,
+        slo_specs=slo_specs,
+    )
 
 
 def install_drain_handler(server: OracleHTTPServer) -> None:
@@ -309,12 +421,14 @@ def serve_until_shutdown(
     The drain helper spawned by :func:`install_drain_handler` is joined
     with a timeout after the socket closes; a helper still alive then
     means ``shutdown()`` itself is wedged, which is surfaced as a
-    ``RuntimeError`` instead of being silently abandoned.
+    ``RuntimeError`` instead of being silently abandoned.  The access
+    log is flushed and closed once the last handler thread has finished.
     """
     try:
         server.serve_forever()
     finally:
         server.server_close()
+        server.access_log.close()
         thread = server.shutdown_thread
         if thread is not None:
             thread.join(shutdown_join_timeout)

@@ -34,6 +34,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.serve.accesslog import REQUEST_ID_HEADER, RequestIdGenerator
 from repro.serve.service import OracleService
 from repro.utils.rng import RngLike, resolve_rng
 from repro.utils.timer import Timer
@@ -118,12 +119,18 @@ class ServiceClient:
 
 
 class HttpClient:
-    """Executes workload requests against a running ``repro serve``."""
+    """Executes workload requests against a running ``repro serve``.
+
+    Every request carries a client-minted ``X-Request-Id`` header, so
+    the server's access log and spans attribute under ids the load
+    generator can correlate with its own latency samples.
+    """
 
     def __init__(self, base_url: str, timeout: float = 10.0) -> None:
         require_type(base_url, "base_url", str)
         self._base = base_url.rstrip("/")
         self._timeout = timeout
+        self._request_ids = RequestIdGenerator()
 
     def request(self, op: Dict[str, object]) -> object:
         """POST one workload request; raises on any non-200 answer."""
@@ -140,7 +147,10 @@ class HttpClient:
         request = urllib.request.Request(
             self._base + route,
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                REQUEST_ID_HEADER: f"loadgen:{self._request_ids.next_id()}",
+            },
             method="POST",
         )
         with urllib.request.urlopen(request, timeout=self._timeout) as response:

@@ -37,13 +37,38 @@ from repro.obs import OBS_STATE as _OBS
 from repro.utils.timer import Timer
 from repro.utils.validation import require_int, require_positive, require_type
 
-__all__ = ["OracleService", "ReadWriteLock", "SpreadCache"]
+__all__ = ["OracleService", "ReadWriteLock", "SERVE_TIME_BUCKETS", "SpreadCache"]
 
 Node = Hashable
+
+#: Latency-histogram bounds tuned for the serving tier.  The paper's
+#: Fig. 4 claim is microsecond-to-millisecond oracle queries, so the
+#: default build-scale bounds (1µs…10s in decades) collapse the entire
+#: serving range into two buckets; these add 2.5×/4× steps through the
+#: 100µs–100ms band where p99 objectives actually live, while keeping a
+#: 10s tail so nothing falls off the end of the cumulative export.
+SERVE_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    10.0,
+)
 
 _REQUEST_SECONDS = obs.histogram(
     "serve.request_seconds",
     "Serving-layer request latency by endpoint and outcome status.",
+    buckets=SERVE_TIME_BUCKETS,
 )
 _CACHE_HITS = obs.counter(
     "serve.cache_hits", "Spread queries answered from the LRU cache."
@@ -123,6 +148,7 @@ class SpreadCache:
         self._lock = threading.Lock()
         self.hits = 0  # repro-lint: guarded-by=_lock
         self.misses = 0  # repro-lint: guarded-by=_lock
+        self._tls = threading.local()  # per-thread hit/miss window, lock-free
 
     @property
     def capacity(self) -> int:
@@ -144,7 +170,26 @@ class SpreadCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 _CACHE_HITS.inc()
-            return value
+        window = getattr(self._tls, "window", None)
+        if window is not None:
+            window[0 if value is not _MISS else 1] += 1
+        return value
+
+    def begin_window(self) -> None:
+        """Start a fresh hit/miss window on the calling thread.
+
+        The serving tier opens a window per request so the access log
+        can attribute cache behaviour to the request that caused it —
+        thread-local, so concurrent handler threads never mix counts.
+        """
+        self._tls.window = [0, 0]
+
+    def window(self) -> Tuple[int, int]:
+        """``(hits, misses)`` on this thread since :meth:`begin_window`."""
+        window = getattr(self._tls, "window", None)
+        if window is None:
+            return (0, 0)
+        return (window[0], window[1])
 
     def put(self, key: frozenset, value: float) -> None:
         """Store ``key → value``, evicting the least recently used entries."""
@@ -358,6 +403,19 @@ class OracleService:
         self._cache.clear()
         _RELOADS.inc()
         return generation
+
+    def begin_cache_window(self) -> None:
+        """Open a per-request cache hit/miss window on this thread."""
+        self._cache.begin_window()
+
+    def cache_window(self) -> Tuple[int, int]:
+        """``(hits, misses)`` on this thread since :meth:`begin_cache_window`."""
+        return self._cache.window()
+
+    def generation(self) -> int:
+        """The live snapshot generation (bumps on every swap)."""
+        with self._swap_lock.read():
+            return self._generation
 
     def node_count(self) -> int:
         """Number of nodes the current oracle answers about."""

@@ -11,7 +11,16 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-__all__ = ["Timer", "time_call"]
+__all__ = ["Timer", "time_call", "wall_clock_unix"]
+
+
+def wall_clock_unix() -> float:
+    """Seconds since the Unix epoch (the one sanctioned wall-clock read).
+
+    Serving-layer artifacts (access-log lines, SLO windows) need a real
+    timestamp; algorithm code must keep passing times in explicitly.
+    """
+    return time.time()
 
 
 class Timer:

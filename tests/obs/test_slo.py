@@ -1,0 +1,277 @@
+"""Per-route SLO evaluation: quantiles, budgets, windows, spec files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    DEFAULT_WINDOW_SECONDS,
+    SLOSpec,
+    SLOStatus,
+    SLOTracker,
+    evaluate_slos,
+    histogram_quantile,
+    load_slo_specs,
+    render_slo,
+)
+
+
+def _counter(route: str, code: int, value: float) -> dict:
+    return {
+        "type": "counter",
+        "name": "serve.http_requests",
+        "labels": {"route": route, "code": str(code)},
+        "value": value,
+    }
+
+
+def _histogram(route: str, buckets, count: int, maximum: float = 0.0) -> dict:
+    return {
+        "type": "histogram",
+        "name": "serve.http_request_seconds",
+        "labels": {"route": route},
+        "buckets": [list(pair) for pair in buckets],
+        "count": count,
+        "max": maximum,
+    }
+
+
+class TestSpec:
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError, match="p99_ms"):
+            SLOSpec(route="/x", p99_ms=0.0, error_budget=0.1)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="error_budget"):
+            SLOSpec(route="/x", p99_ms=10.0, error_budget=1.5)
+
+    def test_defaults_cover_all_serving_routes(self):
+        routes = {spec.route for spec in DEFAULT_SLOS}
+        assert {"/v1/healthz", "/v1/influence", "/v1/spread", "/v1/topk"} <= routes
+
+    def test_default_window(self):
+        assert DEFAULT_WINDOW_SECONDS == 300.0
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_none(self):
+        assert histogram_quantile([], 0, 0.99) is None
+
+    def test_interpolates_within_crossing_bucket(self):
+        # 100 observations uniform in (0, 0.1]: p50 lands mid-bucket.
+        buckets = [[0.1, 100], [1.0, 100]]
+        estimate = histogram_quantile(buckets, 100, 0.5)
+        assert estimate == pytest.approx(0.05)
+
+    def test_inf_tail_falls_back_to_maximum(self):
+        buckets = [[0.1, 0], [1.0, 0]]  # all 5 observations beyond 1.0s
+        assert histogram_quantile(buckets, 5, 0.99, maximum=3.5) == 3.5
+
+    def test_inf_tail_without_maximum_uses_last_bound(self):
+        assert histogram_quantile([[0.1, 0], [1.0, 0]], 5, 0.99) == 1.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile([[1.0, 1]], 1, 0.0)
+
+
+class TestEvaluate:
+    def test_idle_route_is_ok(self):
+        statuses = evaluate_slos(DEFAULT_SLOS, [])
+        assert all(status.ok for status in statuses)
+        assert all(status.requests == 0 for status in statuses)
+
+    def test_fast_clean_traffic_passes(self):
+        samples = [
+            _counter("/v1/spread", 200, 100),
+            _histogram("/v1/spread", [[0.01, 100], [0.1, 100]], 100, maximum=0.008),
+        ]
+        (status,) = evaluate_slos(
+            [SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.02)], samples
+        )
+        assert isinstance(status, SLOStatus)
+        assert status.ok
+        assert status.requests == 100
+        assert status.p99_ms is not None and status.p99_ms < 500.0
+        assert status.burn_rate == 0.0
+
+    def test_slow_p99_breaches(self):
+        # Every observation beyond the 1s bound with a 2s max: p99 = 2000ms.
+        samples = [
+            _counter("/v1/spread", 200, 50),
+            _histogram("/v1/spread", [[0.5, 0], [1.0, 0]], 50, maximum=2.0),
+        ]
+        (status,) = evaluate_slos(
+            [SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.02)], samples
+        )
+        assert not status.ok
+        assert any("p99" in breach for breach in status.breaches)
+
+    def test_error_budget_breach_and_burn_rate(self):
+        samples = [
+            _counter("/v1/influence", 200, 90),
+            _counter("/v1/influence", 500, 10),
+        ]
+        (status,) = evaluate_slos(
+            [SLOSpec(route="/v1/influence", p99_ms=250.0, error_budget=0.02)], samples
+        )
+        assert not status.ok
+        assert status.errors == 10
+        assert status.error_rate == pytest.approx(0.1)
+        assert status.burn_rate == pytest.approx(5.0)
+
+    def test_zero_budget_with_errors_burns_infinitely(self):
+        samples = [_counter("/v1/healthz", 500, 1)]
+        (status,) = evaluate_slos(
+            [SLOSpec(route="/v1/healthz", p99_ms=250.0, error_budget=0.0)], samples
+        )
+        assert not status.ok
+        assert status.burn_rate == float("inf")
+
+    def test_4xx_does_not_spend_the_budget(self):
+        samples = [
+            _counter("/v1/spread", 200, 10),
+            _counter("/v1/spread", 400, 90),
+        ]
+        (status,) = evaluate_slos(
+            [SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.0)], samples
+        )
+        assert status.ok
+        assert status.errors == 0
+        assert status.requests == 100
+
+    def test_to_dict_shape(self):
+        (status,) = evaluate_slos([DEFAULT_SLOS[0]], [])
+        payload = status.to_dict()
+        assert payload["route"] == DEFAULT_SLOS[0].route
+        assert set(payload) >= {"ok", "breaches", "p99_ms", "burn_rate", "requests"}
+        json.dumps(payload)  # healthz embeds it, so it must serialise
+
+
+class TestTracker:
+    def test_first_observation_uses_lifetime_totals(self):
+        tracker = SLOTracker(
+            [SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.02)]
+        )
+        (status,) = tracker.observe([_counter("/v1/spread", 200, 10)], now=0.0)
+        assert status.requests == 10
+        assert status.window_seconds is None
+
+    def test_windowed_delta_drops_old_errors(self):
+        spec = SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.02)
+        tracker = SLOTracker([spec], window_seconds=60.0)
+        # Old snapshot: 100 requests, 10 errors (a bad patch, since fixed).
+        tracker.observe(
+            [_counter("/v1/spread", 200, 90), _counter("/v1/spread", 500, 10)],
+            now=0.0,
+        )
+        # 30s later: 100 more requests, all clean — the window verdict
+        # judges only the delta, so the route is back inside its budget.
+        (status,) = tracker.observe(
+            [_counter("/v1/spread", 200, 190), _counter("/v1/spread", 500, 10)],
+            now=30.0,
+        )
+        assert status.window_seconds == pytest.approx(30.0)
+        assert status.requests == 100
+        assert status.errors == 0
+        assert status.ok
+
+    def test_window_prunes_expired_snapshots(self):
+        spec = SLOSpec(route="/v1/spread", p99_ms=500.0, error_budget=0.0)
+        tracker = SLOTracker([spec], window_seconds=60.0)
+        tracker.observe([_counter("/v1/spread", 500, 5)], now=0.0)
+        tracker.observe([_counter("/v1/spread", 500, 5)], now=100.0)
+        # The t=0 snapshot (with the errors inside its delta) has aged out.
+        (status,) = tracker.observe([_counter("/v1/spread", 500, 5)], now=130.0)
+        assert status.errors == 0
+        assert status.ok
+
+    def test_windowed_p99_uses_bucket_deltas(self):
+        spec = SLOSpec(route="/v1/spread", p99_ms=100.0, error_budget=1.0)
+        tracker = SLOTracker([spec], window_seconds=300.0)
+        slow = [
+            _counter("/v1/spread", 200, 100),
+            _histogram("/v1/spread", [[0.001, 0], [10.0, 100]], 100, maximum=9.0),
+        ]
+        tracker.observe(slow, now=0.0)
+        # All 50 requests since the last probe were ~1ms.
+        fast = [
+            _counter("/v1/spread", 200, 150),
+            _histogram("/v1/spread", [[0.001, 50], [10.0, 150]], 150, maximum=9.0),
+        ]
+        (status,) = tracker.observe(fast, now=10.0)
+        assert status.ok, status.breaches
+        assert status.p99_ms is not None and status.p99_ms <= 1.0
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SLOTracker(DEFAULT_SLOS, window_seconds=0)
+        with pytest.raises(ValueError, match="max_snapshots"):
+            SLOTracker(DEFAULT_SLOS, max_snapshots=1)
+
+
+class TestSpecFiles:
+    def _write(self, tmp_path, document) -> str:
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                {"route": "/v1/spread", "p99_ms": 123.0, "error_budget": 0.01},
+                {"route": "/v1/topk", "p99_ms": 900, "error_budget": 0},
+            ],
+        )
+        specs = load_slo_specs(path)
+        assert specs[0] == SLOSpec(route="/v1/spread", p99_ms=123.0, error_budget=0.01)
+        assert specs[1].error_budget == 0.0
+
+    def test_missing_file_one_line_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read SLO spec"):
+            load_slo_specs(str(tmp_path / "absent.json"))
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('[{"route": "/x"', encoding="utf-8")
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            load_slo_specs(str(path))
+
+    def test_missing_field_named(self, tmp_path):
+        path = self._write(tmp_path, [{"route": "/x", "p99_ms": 10}])
+        with pytest.raises(ValueError, match="missing required field 'error_budget'"):
+            load_slo_specs(path)
+
+    def test_duplicate_route_rejected(self, tmp_path):
+        entry = {"route": "/x", "p99_ms": 10, "error_budget": 0.1}
+        path = self._write(tmp_path, [entry, dict(entry)])
+        with pytest.raises(ValueError, match="duplicate route"):
+            load_slo_specs(path)
+
+    def test_empty_spec_rejected(self, tmp_path):
+        path = self._write(tmp_path, [])
+        with pytest.raises(ValueError, match="non-empty JSON array"):
+            load_slo_specs(path)
+
+
+class TestRender:
+    def test_table_mentions_breaches(self):
+        samples = [_counter("/v1/healthz", 500, 3)]
+        statuses = evaluate_slos(DEFAULT_SLOS, samples)
+        text = render_slo(statuses, format="table")
+        assert "BREACH" in text
+        assert "1 breached" in text
+
+    def test_json_round_trips(self):
+        statuses = evaluate_slos(DEFAULT_SLOS, [])
+        parsed = json.loads(render_slo(statuses, format="json"))
+        assert len(parsed) == len(DEFAULT_SLOS)
+        assert all(entry["ok"] for entry in parsed)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO format"):
+            render_slo([], format="yaml")

@@ -103,3 +103,61 @@ class TestModuleApi:
         assert any(s["name"] == "stage_seconds" for s in snapshot)
         without = obs.snapshot(include_spans=False)
         assert all(s["type"] != "span" for s in without)
+
+
+class TestRequestContext:
+    def test_context_prefixes_the_current_path(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        assert recorder.current_context() == ()
+        with recorder.context("request:abc"):
+            assert recorder.current_context() == ("request:abc",)
+            with recorder.span("serve.http_request"):
+                assert recorder.current_path() == ("request:abc", "serve.http_request")
+        assert recorder.current_context() == ()
+        assert recorder.current_path() == ()
+
+    def test_contexts_nest(self):
+        recorder = SpanRecorder(MetricRegistry())
+        with recorder.context("request:a"), recorder.context("retry:1"):
+            assert recorder.current_context() == ("request:a", "retry:1")
+
+    def test_records_carry_the_context(self):
+        registry = MetricRegistry()
+        registry.enable()
+        recorder = SpanRecorder(registry)
+        with recorder.context("request:abc"):
+            with recorder.span("serve.http_request"):
+                pass
+        with recorder.span("background"):
+            pass
+        records = recorder.records()
+        assert records[0]["context"] == ["request:abc"]
+        assert records[1]["context"] == []
+
+    def test_context_works_while_disabled(self):
+        recorder = SpanRecorder(MetricRegistry())  # never enabled
+        with recorder.context("request:abc"):
+            assert recorder.current_context() == ("request:abc",)
+            with recorder.span("noop"):
+                pass
+        assert recorder.records() == []
+
+    def test_context_is_popped_on_exception(self):
+        recorder = SpanRecorder(MetricRegistry())
+        try:
+            with recorder.context("request:abc"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert recorder.current_context() == ()
+
+    def test_module_level_request_context(self):
+        obs.enable()
+        with obs.request_context("request:xyz"):
+            assert obs.current_context() == ("request:xyz",)
+            assert obs.current_span_path() == ("request:xyz",)
+            with obs.span("stage"):
+                assert obs.current_span_path() == ("request:xyz", "stage")
+        assert obs.current_context() == ()

@@ -12,12 +12,14 @@ from repro.obs.trend import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_PREFIX,
     DEFAULT_THRESHOLD,
+    SERVE_SCHEMA,
     bench_snapshot,
     diff_snapshots,
     has_regressions,
     load_bench_snapshot,
     machine_fingerprint,
     render_diff,
+    serve_bench_snapshot,
     validate_snapshot,
     write_bench_snapshot,
 )
@@ -249,3 +251,95 @@ class TestCommittedBaseline:
             assert set(bench) >= {"name", "median", "q1", "q3", "iqr"}
         # A baseline diffed against itself is always quiet.
         assert not has_regressions(diff_snapshots(snapshot, snapshot))
+
+
+def loadgen_round(p50=1.0, p95=2.0, p99=3.0, mean=1.2, rps=500.0, errors=0):
+    """A fake ``LoadgenReport.to_dict()`` for one loadgen round."""
+    return {
+        "requests": 1000,
+        "errors": errors,
+        "threads": 4,
+        "elapsed_seconds": 1000 / rps,
+        "throughput_rps": rps,
+        "latency_ms": {"p50": p50, "p95": p95, "p99": p99, "mean": mean, "max": p99 * 2},
+        "per_endpoint": {"spread": 700, "influence": 250, "topk": 50},
+    }
+
+
+class TestServeSchema:
+    def test_snapshot_aggregates_rounds(self):
+        rounds = [loadgen_round(p99=3.0 + 0.1 * i, rps=500.0 - i) for i in range(5)]
+        snapshot = serve_bench_snapshot(
+            rounds, counters={"serve.cache_hits": 42}, context={"dataset": "slashdot-sim"}
+        )
+        assert snapshot["schema"] == SERVE_SCHEMA
+        validate_snapshot(snapshot)
+        by_name = {bench["name"]: bench for bench in snapshot["benchmarks"]}
+        assert set(by_name) == {
+            "loadgen.p50_ms",
+            "loadgen.p95_ms",
+            "loadgen.p99_ms",
+            "loadgen.mean_ms",
+            "loadgen.throughput_rps",
+        }
+        p99 = by_name["loadgen.p99_ms"]
+        assert p99["median"] == pytest.approx(3.2)
+        assert p99["q1"] <= p99["median"] <= p99["q3"]
+        assert p99["rounds"] == 5
+        assert by_name["loadgen.throughput_rps"]["direction"] == "higher_is_better"
+        assert "direction" not in p99  # latency defaults to lower_is_better
+        assert snapshot["counters"]["loadgen.requests"] == 5000.0
+        assert snapshot["counters"]["serve.cache_hits"] == 42.0
+
+    def test_snapshot_requires_rounds(self):
+        with pytest.raises(ValueError, match="at least one loadgen report"):
+            serve_bench_snapshot([])
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "SERVE.json")
+        write_bench_snapshot(path, serve_bench_snapshot([loadgen_round()]))
+        loaded = load_bench_snapshot(path)
+        assert loaded["schema"] == SERVE_SCHEMA
+
+    def test_injected_p99_regression_gates(self):
+        baseline = serve_bench_snapshot([loadgen_round(p99=3.0 + 0.05 * i) for i in range(5)])
+        regressed = serve_bench_snapshot([loadgen_round(p99=9.0 + 0.05 * i) for i in range(5)])
+        diff = diff_snapshots(baseline, regressed)
+        assert has_regressions(diff)
+        rows = {row["name"]: row for row in diff["rows"]}
+        assert rows["loadgen.p99_ms"]["verdict"] == "regression"
+
+    def test_same_numbers_are_quiet(self):
+        rounds = [loadgen_round(p99=3.0 + 0.1 * i, rps=480.0 + 5 * i) for i in range(5)]
+        snapshot = serve_bench_snapshot(rounds)
+        assert not has_regressions(diff_snapshots(snapshot, snapshot))
+
+    def test_throughput_regresses_downward(self):
+        fast = serve_bench_snapshot([loadgen_round(rps=1000.0 + i) for i in range(3)])
+        slow = serve_bench_snapshot([loadgen_round(rps=400.0 + i) for i in range(3)])
+        diff = diff_snapshots(fast, slow)
+        rows = {row["name"]: row for row in diff["rows"]}
+        assert rows["loadgen.throughput_rps"]["verdict"] == "regression"
+        assert rows["loadgen.throughput_rps"]["direction"] == "higher_is_better"
+        # The reverse move — more throughput — is an improvement, not a gate.
+        reverse = {row["name"]: row for row in diff_snapshots(slow, fast)["rows"]}
+        assert reverse["loadgen.throughput_rps"]["verdict"] == "improvement"
+        assert not has_regressions(diff_snapshots(slow, fast))
+
+    def test_mismatched_schemas_refuse_to_diff(self):
+        bench = bench_snapshot([entry("build", 1.0)])
+        serve = serve_bench_snapshot([loadgen_round()])
+        with pytest.raises(ValueError, match="different schemas"):
+            diff_snapshots(bench, serve)
+
+    def test_validate_rejects_bad_direction(self):
+        snapshot = serve_bench_snapshot([loadgen_round()])
+        snapshot["benchmarks"][0]["direction"] = "sideways_is_better"
+        with pytest.raises(ValueError, match="direction"):
+            validate_snapshot(snapshot)
+
+    def test_foreign_serve_version_rejected(self):
+        snapshot = serve_bench_snapshot([loadgen_round()])
+        snapshot["schema"] = "repro-servebench/99"
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            validate_snapshot(snapshot)

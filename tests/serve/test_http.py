@@ -4,12 +4,15 @@ from __future__ import annotations
 
 import json
 import signal
+import socket
 import threading
 import urllib.error
 import urllib.request
 
 import pytest
 
+import repro.obs as obs
+from repro.serve.accesslog import REQUEST_ID_HEADER
 from repro.serve.http import (
     DEFAULT_MAX_REQUEST_BYTES,
     OracleHTTPServer,
@@ -35,6 +38,23 @@ def running_server(exact_oracle):
 def _url(server: OracleHTTPServer, route: str) -> str:
     host, port = server.server_address[:2]
     return f"http://{host}:{port}{route}"
+
+
+def _wait_for(predicate, timeout: float = 10.0):
+    """Poll until ``predicate()`` is truthy and return its value.
+
+    The handler epilogue (access log, request counter, span finish) runs
+    *after* the response bytes reach the client, so a client that just
+    read a response may observe the signals a moment later.
+    """
+    import time  # repro-lint: disable=R006
+
+    deadline = time.monotonic() + timeout
+    while True:
+        result = predicate()
+        if result or time.monotonic() > deadline:
+            return result
+        time.sleep(0.01)
 
 
 def _get(server, route):
@@ -193,6 +213,218 @@ class TestErrorEnvelopes:
         )
         assert code == 400
         assert "cannot read snapshot" in body["error"]["message"]
+
+
+class TestRequestIds:
+    def test_inbound_request_id_echoed(self, running_server):
+        request = urllib.request.Request(
+            _url(running_server, "/v1/healthz"),
+            headers={REQUEST_ID_HEADER: "abc"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers[REQUEST_ID_HEADER] == "abc"
+
+    def test_request_id_generated_when_absent(self, running_server):
+        with urllib.request.urlopen(_url(running_server, "/v1/healthz"), timeout=10) as response:
+            generated = response.headers[REQUEST_ID_HEADER]
+        assert generated
+        prefix, _, sequence = generated.partition("-")
+        assert len(prefix) == 8 and sequence.isdigit()
+
+    def test_hostile_request_id_replaced(self, running_server):
+        request = urllib.request.Request(
+            _url(running_server, "/v1/healthz"),
+            headers={REQUEST_ID_HEADER: "bad id with spaces"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            echoed = response.headers[REQUEST_ID_HEADER]
+        assert echoed != "bad id with spaces"
+        assert "-" in echoed  # a freshly generated one
+
+    def test_error_responses_carry_the_id(self, running_server):
+        request = urllib.request.Request(
+            _url(running_server, "/v1/nope"),
+            data=b"{}",
+            headers={REQUEST_ID_HEADER: "err-1"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+        assert excinfo.value.headers[REQUEST_ID_HEADER] == "err-1"
+
+
+class TestRequestObservability:
+    def test_truncated_content_length_400(self, running_server):
+        host, port = running_server.server_address[:2]
+        head = (
+            f"POST /v1/spread HTTP/1.0\r\nHost: {host}\r\n"
+            "Content-Type: application/json\r\nContent-Length: 100\r\n\r\n"
+        )
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(head.encode() + b'{"seeds"')
+            sock.shutdown(socket.SHUT_WR)
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        assert b"shorter than Content-Length" in response
+
+    def test_unknown_routes_share_the_unmatched_label(self, running_server):
+        obs.enable()
+        for path in ("/v1/nope", "/v1/scan-1", "/v1/scan-2", "/../../etc/passwd"):
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(_url(running_server, path), timeout=10)
+
+        def unmatched_total():
+            return sum(
+                sample["value"]
+                for sample in obs.snapshot(include_spans=False)
+                if sample["name"] == "serve.http_requests"
+                and sample["labels"]["route"] == "unmatched"
+            )
+
+        assert _wait_for(lambda: unmatched_total() >= 4)
+        routes = {
+            sample["labels"]["route"]
+            for sample in obs.snapshot(include_spans=False)
+            if sample["name"] == "serve.http_requests"
+        }
+        assert not any("scan" in route for route in routes)
+
+    def test_trailing_slash_labels_the_matched_route(self, running_server):
+        obs.enable()
+        status, _ = _get(running_server, "/v1/healthz/")
+        assert status == 200
+
+        def routes():
+            return {
+                sample["labels"]["route"]
+                for sample in obs.snapshot(include_spans=False)
+                if sample["name"] == "serve.http_requests"
+            }
+
+        assert _wait_for(lambda: "/v1/healthz" in routes())
+        assert "/v1/healthz/" not in routes()
+
+    def test_latency_histogram_uses_serving_buckets(self, running_server):
+        from repro.serve.service import SERVE_TIME_BUCKETS
+
+        obs.enable()
+        _get(running_server, "/v1/healthz")
+        histograms = _wait_for(
+            lambda: [
+                sample
+                for sample in obs.snapshot(include_spans=False)
+                if sample["name"] == "serve.http_request_seconds"
+            ]
+        )
+        assert histograms
+        bounds = tuple(bound for bound, _ in histograms[0]["buckets"])
+        assert bounds == SERVE_TIME_BUCKETS
+
+    def test_debug_requests_endpoint(self, running_server, exact_oracle):
+        node = sorted(exact_oracle.nodes())[0]
+        _post(running_server, "/v1/influence", {"node": node})
+
+        def influence_logged():
+            status, payload = _get(running_server, "/v1/debug/requests")
+            assert status == 200
+            return [
+                entry
+                for entry in payload["requests"]
+                if entry["route"] == "/v1/influence"
+            ]
+
+        influence_entries = _wait_for(influence_logged)
+        assert influence_entries
+        _, payload = _get(running_server, "/v1/debug/requests")
+        assert payload["stats"]["ring_entries"] >= 1
+        entry = influence_entries[-1]
+        assert entry["status"] == 200
+        assert entry["request_id"]
+        assert entry["latency_ms"] >= 0
+        assert entry["bytes"] > 0
+        assert entry["generation"] == 1
+
+    def test_debug_requests_stays_up_while_draining(self, running_server):
+        running_server.draining = True
+        status, payload = _get(running_server, "/v1/debug/requests")
+        assert status == 200
+        assert "requests" in payload
+
+    def test_healthz_reports_slo(self, running_server):
+        status, payload = _get(running_server, "/v1/healthz")
+        assert status == 200
+        assert payload["slo_ok"] is True
+        routes = {entry["route"] for entry in payload["slo"]}
+        assert {"/v1/spread", "/v1/influence", "/v1/topk"} <= routes
+        assert all(set(entry) >= {"ok", "p99_ms", "burn_rate"} for entry in payload["slo"])
+
+    def test_cache_hits_attributed_per_request(self, running_server, exact_oracle):
+        seeds = sorted(exact_oracle.nodes())[:3]
+        _post(running_server, "/v1/spread", {"seeds": seeds})
+        _post(running_server, "/v1/spread", {"seeds": seeds})
+
+        def spread_entries():
+            found = [
+                entry
+                for entry in running_server.access_log.recent()
+                if entry["route"] == "/v1/spread"
+            ]
+            return found if len(found) == 2 else None
+
+        entries = _wait_for(spread_entries)
+        assert entries and len(entries) == 2
+        assert entries[0]["cache_misses"] == 1 and entries[0]["cache_hits"] == 0
+        assert entries[1]["cache_hits"] == 1 and entries[1]["cache_misses"] == 0
+
+    def test_end_to_end_trace(self, running_server, exact_oracle):
+        """One request, one id, three signals: header, span, access log."""
+        obs.enable()
+        obs.profile.enable()
+        try:
+            seeds = sorted(exact_oracle.nodes())[:4]
+            request = urllib.request.Request(
+                _url(running_server, "/v1/spread"),
+                data=json.dumps({"seeds": seeds}).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    REQUEST_ID_HEADER: "abc",
+                },
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+                assert response.headers[REQUEST_ID_HEADER] == "abc"
+            spans = _wait_for(
+                lambda: [
+                    record
+                    for record in obs.span_records()
+                    if record["name"] == "serve.http_request"
+                    and record["context"] == ["request:abc"]
+                ]
+            )
+            assert spans, "request span not attributed to request:abc"
+            assert spans[0]["labels"]["route"] == "/v1/spread"
+            profiled = obs.profile.collect().span_totals()
+            assert "request:abc" in profiled, sorted(profiled)
+            logged = _wait_for(
+                lambda: [
+                    entry
+                    for entry in running_server.access_log.recent()
+                    if entry["request_id"] == "abc"
+                ]
+            )
+            assert logged
+            assert logged[0]["route"] == "/v1/spread"
+            assert logged[0]["status"] == 200
+        finally:
+            obs.profile.disable()
+            obs.profile.reset()
 
 
 class TestDrainAndLifecycle:

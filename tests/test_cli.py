@@ -495,3 +495,96 @@ class TestServeParser:
         code, _ = run_cli(["serve", str(tmp_path / "absent.snap")])
         assert code == 1
         assert "cannot read snapshot" in capsys.readouterr().err
+
+
+class TestServeObservabilityFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "oracle.snap"])
+        assert args.access_log == ""
+        assert args.slo == ""
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "oracle.snap", "--access-log", "/tmp/a.log", "--slo", "slo.json"]
+        )
+        assert args.access_log == "/tmp/a.log"
+        assert args.slo == "slo.json"
+
+    def test_bad_slo_spec_is_error(self, tmp_path, capsys):
+        spec = tmp_path / "slo.json"
+        spec.write_text("[]", encoding="utf-8")
+        code, _ = run_cli(
+            ["serve", str(tmp_path / "absent.snap"), "--slo", str(spec)]
+        )
+        assert code == 1
+        assert "non-empty JSON array" in capsys.readouterr().err
+
+
+class TestObsSlo:
+    def write_metrics(self, tmp_path, errors=0):
+        from repro.obs.export import to_jsonl
+
+        samples = [
+            {
+                "type": "counter",
+                "name": "serve.http_requests",
+                "labels": {"route": "/v1/spread", "code": "200"},
+                "value": 100.0,
+            }
+        ]
+        if errors:
+            samples.append(
+                {
+                    "type": "counter",
+                    "name": "serve.http_requests",
+                    "labels": {"route": "/v1/spread", "code": "500"},
+                    "value": float(errors),
+                }
+            )
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(to_jsonl(samples), encoding="utf-8")
+        return str(path)
+
+    def test_clean_traffic_passes_check(self, tmp_path):
+        metrics = self.write_metrics(tmp_path)
+        code, text = run_cli(["obs", "slo", "-i", metrics, "--check"])
+        assert code == 0
+        assert "0 breached" in text
+
+    def test_breach_fails_check(self, tmp_path):
+        metrics = self.write_metrics(tmp_path, errors=50)
+        code, text = run_cli(["obs", "slo", "-i", metrics, "--check"])
+        assert code == 1
+        assert "BREACH" in text
+
+    def test_breach_without_check_exits_zero(self, tmp_path):
+        metrics = self.write_metrics(tmp_path, errors=50)
+        code, text = run_cli(["obs", "slo", "-i", metrics])
+        assert code == 0
+        assert "BREACH" in text
+
+    def test_custom_spec_file(self, tmp_path):
+        metrics = self.write_metrics(tmp_path, errors=50)
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps([{"route": "/v1/spread", "p99_ms": 500, "error_budget": 0.5}]),
+            encoding="utf-8",
+        )
+        code, text = run_cli(
+            ["obs", "slo", "-i", metrics, "--spec", str(spec), "--check"]
+        )
+        assert code == 0
+        assert "1 route SLO(s) evaluated" in text
+
+    def test_json_format(self, tmp_path):
+        metrics = self.write_metrics(tmp_path)
+        code, text = run_cli(["obs", "slo", "-i", metrics, "--format", "json"])
+        assert code == 0
+        parsed = json.loads(text)
+        assert any(entry["route"] == "/v1/spread" for entry in parsed)
+
+    def test_missing_input_is_one_line_error(self, tmp_path, capsys):
+        code, _ = run_cli(["obs", "slo", "-i", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot read metrics snapshot" in err
