@@ -9,14 +9,15 @@ interactions in 8 min).  Same sweep here over all six simulated datasets.
 from conftest import register_table, register_text
 
 from repro.analysis.experiments import runtime_experiment
+from repro.analysis.grid import DEFAULT_PRECISION, WINDOW_SWEEP
 from repro.analysis.plots import ascii_chart, series_from_rows
 from repro.core.approx import ApproxIRS
 
-WINDOW_SWEEP = (1, 5, 10, 20, 40, 60, 80, 100)
-
 
 def test_fig3_processing_time(benchmark, catalog_logs):
-    rows = runtime_experiment(catalog_logs, window_percents=WINDOW_SWEEP, precision=9)
+    rows = runtime_experiment(
+        catalog_logs, window_percents=WINDOW_SWEEP, precision=DEFAULT_PRECISION
+    )
     register_table(
         "Fig3 processing time vs window (s)",
         rows,
@@ -36,4 +37,4 @@ def test_fig3_processing_time(benchmark, catalog_logs):
 
     log = catalog_logs["higgs-sim"]
     window = log.window_from_percent(10)
-    benchmark(ApproxIRS.from_log, log, window, 9)
+    benchmark(ApproxIRS.from_log, log, window, DEFAULT_PRECISION)

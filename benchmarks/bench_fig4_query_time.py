@@ -11,22 +11,26 @@ from conftest import register_table, register_text
 
 from repro.analysis.plots import ascii_chart, series_from_rows
 from repro.analysis.experiments import oracle_query_experiment
+from repro.analysis.grid import (
+    DEFAULT_PRECISION,
+    QUERY_DATASETS,
+    QUERY_WINDOW_PERCENT,
+    SEED_COUNTS,
+)
 from repro.core.approx import ApproxIRS
 from repro.core.oracle import ApproxInfluenceOracle
-
-SEED_COUNTS = (10, 100, 1_000, 5_000, 10_000)
 
 
 def test_fig4_oracle_query_time(benchmark, catalog_logs):
     rows = []
-    for name in ("slashdot-sim", "us2016-sim"):
+    for name in QUERY_DATASETS:
         rows.extend(
             oracle_query_experiment(
                 catalog_logs[name],
                 name,
                 seed_counts=SEED_COUNTS,
-                window_percent=20,
-                precision=9,
+                window_percent=QUERY_WINDOW_PERCENT,
+                precision=DEFAULT_PRECISION,
                 repetitions=3,
                 rng=5,
             )
@@ -44,12 +48,16 @@ def test_fig4_oracle_query_time(benchmark, catalog_logs):
         ),
     )
     by_key = {(r["dataset"], r["num_seeds"]): r["milliseconds"] for r in rows}
-    for name in ("slashdot-sim", "us2016-sim"):
+    for name in QUERY_DATASETS:
         assert by_key[(name, 10_000)] >= by_key[(name, 10)]
 
     log = catalog_logs["slashdot-sim"]
     oracle = ApproxInfluenceOracle.from_index(
-        ApproxIRS.from_log(log, log.window_from_percent(20), precision=9)
+        ApproxIRS.from_log(
+            log,
+            log.window_from_percent(QUERY_WINDOW_PERCENT),
+            precision=DEFAULT_PRECISION,
+        )
     )
     nodes = sorted(log.nodes, key=repr)
     seeds = [nodes[i % len(nodes)] for i in range(1_000)]

@@ -14,30 +14,35 @@ static baselines on average.
 from conftest import register_table, register_text
 
 from repro.analysis.experiments import spread_comparison
+from repro.analysis.grid import (
+    DEFAULT_PRECISION,
+    SPREAD_DATASETS,
+    SPREAD_KS,
+    SPREAD_METHODS,
+    SPREAD_PROBABILITIES,
+    SPREAD_WINDOW_PERCENTS,
+)
 from repro.analysis.metrics import summarize
 from repro.analysis.plots import ascii_chart, series_from_rows
 from repro.core.approx import ApproxIRS
 from repro.core.maximization import greedy_top_k
 from repro.core.oracle import ApproxInfluenceOracle
 
-KS = (5, 15, 30, 50)
-METHODS = ("PR", "HD", "SHD", "SKIM", "CTE", "IRS", "IRS-approx")
-
 
 def test_fig5_spread_comparison(benchmark, small_catalog_logs):
     rows = []
-    for name in ("lkml-sim", "enron-sim", "facebook-sim"):
+    for name in SPREAD_DATASETS:
         log = small_catalog_logs[name]
         rows.extend(
             spread_comparison(
                 log,
                 name,
-                ks=KS,
-                window_percents=(1, 20),
-                probabilities=(0.5, 1.0),
-                methods=METHODS,
+                ks=SPREAD_KS,
+                window_percents=SPREAD_WINDOW_PERCENTS,
+                probabilities=SPREAD_PROBABILITIES,
+                methods=SPREAD_METHODS,
                 runs=3,
-                precision=9,
+                precision=DEFAULT_PRECISION,
                 rng=17,
             )
         )
@@ -47,8 +52,8 @@ def test_fig5_spread_comparison(benchmark, small_catalog_logs):
         note="IRS(exact) tops or ties each panel; SKIM/CTE weakest at 1%.",
     )
     panels = []
-    for name in ("lkml-sim", "enron-sim", "facebook-sim"):
-        for window in (1, 20):
+    for name in SPREAD_DATASETS:
+        for window in SPREAD_WINDOW_PERCENTS:
             panels.append(
                 ascii_chart(
                     series_from_rows(
@@ -88,7 +93,7 @@ def test_fig5_spread_comparison(benchmark, small_catalog_logs):
     window = log.window_from_percent(1)
 
     def irs_select():
-        index = ApproxIRS.from_log(log, window, precision=9)
+        index = ApproxIRS.from_log(log, window, precision=DEFAULT_PRECISION)
         return greedy_top_k(ApproxInfluenceOracle.from_index(index), 10)
 
     benchmark.pedantic(irs_select, rounds=2, iterations=1)

@@ -10,15 +10,18 @@ import pytest
 from conftest import register_table
 
 from repro.analysis.experiments import accuracy_experiment
+from repro.analysis.grid import (
+    ACCURACY_DATASETS,
+    BETAS,
+    DEFAULT_PRECISION,
+    WINDOW_PERCENTS as WINDOWS,
+)
 from repro.core.approx import ApproxIRS
-
-BETAS = (16, 32, 64, 128, 256, 512)
-WINDOWS = (1, 10, 20)
 
 
 def test_table3_accuracy(benchmark, catalog_logs):
     rows = []
-    for name in ("higgs-sim", "slashdot-sim"):
+    for name in ACCURACY_DATASETS:
         log = catalog_logs[name]
         rows.extend(
             accuracy_experiment(log, name, betas=BETAS, window_percents=WINDOWS)
@@ -30,10 +33,10 @@ def test_table3_accuracy(benchmark, catalog_logs):
     )
     # Shape assertions: error at beta=512 beats beta=16 on every dataset+window.
     by_key = {(r["dataset"], r["window_pct"], r["beta"]): r["avg_rel_error"] for r in rows}
-    for name in ("higgs-sim", "slashdot-sim"):
+    for name in ACCURACY_DATASETS:
         for window in WINDOWS:
             assert by_key[(name, window, 512)] <= by_key[(name, window, 16)] + 1e-9
 
     log = catalog_logs["slashdot-sim"]
     window = log.window_from_percent(10)
-    benchmark(ApproxIRS.from_log, log, window, 9)
+    benchmark(ApproxIRS.from_log, log, window, DEFAULT_PRECISION)

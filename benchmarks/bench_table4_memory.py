@@ -8,12 +8,15 @@ sketch index (see repro.analysis.memory for the cost model).
 from conftest import register_table
 
 from repro.analysis.experiments import memory_experiment
+from repro.analysis.grid import DEFAULT_PRECISION, WINDOW_PERCENTS
 from repro.analysis.memory import accounted_bytes
 from repro.core.approx import ApproxIRS
 
 
 def test_table4_memory(benchmark, catalog_logs):
-    rows = memory_experiment(catalog_logs, window_percents=(1, 10, 20), precision=9)
+    rows = memory_experiment(
+        catalog_logs, window_percents=WINDOW_PERCENTS, precision=DEFAULT_PRECISION
+    )
     register_table(
         "Table4 accounted sketch memory (MB)",
         rows,
@@ -26,6 +29,8 @@ def test_table4_memory(benchmark, catalog_logs):
     window = log.window_from_percent(20)
 
     def build_and_account():
-        return accounted_bytes(ApproxIRS.from_log(log, window, precision=9))
+        return accounted_bytes(
+            ApproxIRS.from_log(log, window, precision=DEFAULT_PRECISION)
+        )
 
     benchmark(build_and_account)

@@ -9,11 +9,15 @@ argument for window-aware influence maximization.
 from conftest import register_table
 
 from repro.analysis.experiments import seed_overlap_experiment
+from repro.analysis.grid import DEFAULT_PRECISION, OVERLAP_K, WINDOW_PERCENTS
 
 
 def test_table5_seed_overlap(benchmark, catalog_logs):
     rows = seed_overlap_experiment(
-        catalog_logs, window_percents=(1, 10, 20), k=10, precision=9
+        catalog_logs,
+        window_percents=WINDOW_PERCENTS,
+        k=OVERLAP_K,
+        precision=DEFAULT_PRECISION,
     )
     register_table(
         "Table5 common top-10 seeds across windows",
@@ -30,8 +34,8 @@ def test_table5_seed_overlap(benchmark, catalog_logs):
         return seed_overlap_experiment(
             {"slashdot-sim": catalog_logs["slashdot-sim"]},
             window_percents=(1, 10),
-            k=10,
-            precision=9,
+            k=OVERLAP_K,
+            precision=DEFAULT_PRECISION,
         )
 
     benchmark.pedantic(overlap_once, rounds=2, iterations=1)

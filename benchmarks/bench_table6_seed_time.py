@@ -10,18 +10,22 @@ matching the paper.
 from conftest import register_table
 
 from repro.analysis.experiments import seed_time_experiment
+from repro.analysis.grid import (
+    DEFAULT_PRECISION,
+    SEED_TIME_K,
+    SEED_TIME_METHODS,
+    SEED_TIME_WINDOW_PERCENT,
+)
 from repro.analysis.metrics import summarize
-
-METHODS = ("IRS-approx", "SKIM", "PR", "HD", "SHD", "CTE")
 
 
 def test_table6_seed_selection_time(benchmark, small_catalog_logs):
     rows = seed_time_experiment(
         small_catalog_logs,
-        k=50,
-        window_percent=1,
-        methods=METHODS,
-        precision=9,
+        k=SEED_TIME_K,
+        window_percent=SEED_TIME_WINDOW_PERCENT,
+        methods=SEED_TIME_METHODS,
+        precision=DEFAULT_PRECISION,
         rng=23,
     )
     register_table(
@@ -37,7 +41,7 @@ def test_table6_seed_selection_time(benchmark, small_catalog_logs):
     def hd_only():
         return seed_time_experiment(
             {"slashdot-sim": small_catalog_logs["slashdot-sim"]},
-            k=50,
+            k=SEED_TIME_K,
             methods=("HD",),
         )
 

@@ -16,6 +16,11 @@ Four subcommands cover the typical workflow end to end:
   snapshot (``obs report``), compare two benchmark snapshots under the
   regression gate (``obs diff``), or evaluate per-route serving SLOs
   against a metrics snapshot (``obs slo``);
+* ``xp``       — experiment-matrix orchestration: execute a declared
+  matrix resumably into a ``repro-xp/1`` run directory (``xp run``),
+  render significance-tested evidence reports (``xp report``), compare
+  two runs under the trend-delta gate (``xp diff``), or list persisted
+  cells (``xp ls``) — see :mod:`repro.xp`;
 * ``snapshot`` — build an influence oracle from an edge list and persist
   it as a ``repro-snap/1`` file (``snapshot save``), or verify and
   summarise an existing one (``snapshot load``);
@@ -248,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any route breaches its SLO (CI gate)",
     )
 
+    from repro.xp.cli import add_xp_parser
+
+    add_xp_parser(commands)
+
     snapshot_cmd = commands.add_parser(
         "snapshot", help="build/inspect repro-snap/1 oracle snapshots"
     )
@@ -466,6 +475,12 @@ def _command_obs_slo(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_xp(args: argparse.Namespace, out) -> int:
+    from repro.xp.cli import command_xp
+
+    return command_xp(args, out)
+
+
 def _command_snapshot(args: argparse.Namespace, out) -> int:
     from repro.serve.snapshot import SnapshotReader, save_oracle
 
@@ -567,6 +582,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "explain": _command_explain,
         "report": _command_report,
         "obs": _command_obs,
+        "xp": _command_xp,
         "snapshot": _command_snapshot,
         "serve": _command_serve,
     }

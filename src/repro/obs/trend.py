@@ -34,11 +34,13 @@ them.  Improvements are reported symmetrically but never gate.
 from __future__ import annotations
 
 import json
-import os
-import platform
-import sys
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+# The single definition of run provenance lives in utils.provenance (the
+# experiment-matrix store reuses it verbatim); re-exported here because
+# every snapshot producer historically imported it from this module.
+from repro.utils.provenance import machine_fingerprint
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -46,6 +48,7 @@ __all__ = [
     "SERVE_SCHEMA",
     "DEFAULT_THRESHOLD",
     "machine_fingerprint",
+    "quartiles",
     "bench_snapshot",
     "serve_bench_snapshot",
     "write_bench_snapshot",
@@ -88,17 +91,6 @@ DIRECTION_HIGHER = "higher_is_better"
 _DIRECTIONS = (DIRECTION_LOWER, DIRECTION_HIGHER)
 
 
-def machine_fingerprint() -> Dict[str, object]:
-    """Where the numbers came from: interpreter, platform, CPU count."""
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "cpu_count": os.cpu_count() or 0,
-    }
-
-
 def bench_snapshot(
     benchmarks: Iterable[Mapping[str, object]],
     counters: Optional[Mapping[str, float]] = None,
@@ -132,8 +124,14 @@ def bench_snapshot(
     }
 
 
-def _quartiles(values: Sequence[float]) -> Dict[str, float]:
-    """``median``/``q1``/``q3``/``iqr`` of ``values`` (linear interpolation)."""
+def quartiles(values: Sequence[float]) -> Dict[str, float]:
+    """``median``/``q1``/``q3``/``iqr`` of ``values`` (linear interpolation).
+
+    The shared summary every trend comparison is built on — serve-bench
+    aggregation below and the experiment-matrix significance layer
+    (:mod:`repro.xp.stats`) use this one function so their IQR-overlap
+    rules are numerically identical.
+    """
     if not values:
         raise ValueError("cannot take quartiles of an empty sequence")
     ordered = sorted(float(v) for v in values)
@@ -147,6 +145,10 @@ def _quartiles(values: Sequence[float]) -> Dict[str, float]:
 
     q1, median, q3 = _at(0.25), _at(0.5), _at(0.75)
     return {"median": median, "q1": q1, "q3": q3, "iqr": q3 - q1}
+
+
+#: Backwards-compatible alias (the function predates its public export).
+_quartiles = quartiles
 
 
 def serve_bench_snapshot(

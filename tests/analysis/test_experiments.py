@@ -7,8 +7,10 @@ in benchmarks/.
 
 import pytest
 
+from repro.analysis import grid
 from repro.analysis.experiments import (
     ALL_METHODS,
+    _precision_for,
     accuracy_experiment,
     dataset_characteristics,
     memory_experiment,
@@ -44,6 +46,30 @@ class TestSelectSeeds:
         narrow = select_seeds(tiny_log, "IRS", 5, window=1)
         assert wide != narrow  # different windows change the ranking
 
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_deterministic_under_fixed_rng(self, tiny_log, method):
+        first = select_seeds(tiny_log, method, 4, window=200, precision=6, rng=9)
+        second = select_seeds(tiny_log, method, 4, window=200, precision=6, rng=9)
+        assert first == second
+
+
+class TestPrecisionFor:
+    @pytest.mark.parametrize(
+        "beta,precision", [(2, 1), (16, 4), (64, 6), (512, 9), (2**16, 16)]
+    )
+    def test_exact_powers(self, beta, precision):
+        assert _precision_for(beta) == precision
+
+    def test_matches_grid_betas(self):
+        # The canonical Table 3 sweep must all map cleanly.
+        for beta in grid.BETAS:
+            assert 2 ** _precision_for(beta) == beta
+
+    @pytest.mark.parametrize("beta", [0, -4, 3, 15, 17, 100])
+    def test_rejects_non_powers(self, beta):
+        with pytest.raises(ValueError, match="power of two"):
+            _precision_for(beta)
+
 
 class TestDatasetCharacteristics:
     def test_rows_for_requested_names(self):
@@ -53,6 +79,28 @@ class TestDatasetCharacteristics:
         assert row["dataset"] == "slashdot-sim"
         assert row["interactions"] == 140
         assert row["nodes"] > 0 and row["span_ticks"] > 0
+
+    def test_deterministic_for_fixed_rng(self):
+        first = dataset_characteristics(["enron-sim"], rng=3, scale=0.1)
+        second = dataset_characteristics(["enron-sim"], rng=3, scale=0.1)
+        assert first == second
+
+    def test_row_column_shape(self):
+        (row,) = dataset_characteristics(["enron-sim"], rng=1, scale=0.1)
+        assert set(row) == {"dataset", "nodes", "interactions", "span_ticks"}
+
+
+class TestGridConsistency:
+    def test_grid_betas_are_powers_of_two(self):
+        for beta in grid.BETAS:
+            assert beta > 0 and beta & (beta - 1) == 0
+
+    def test_grid_methods_are_known(self):
+        assert set(grid.SPREAD_METHODS) <= set(ALL_METHODS)
+        assert set(grid.SEED_TIME_METHODS) <= set(ALL_METHODS)
+
+    def test_default_precision_matches_paper_beta(self):
+        assert 2**grid.DEFAULT_PRECISION == 512
 
 
 class TestAccuracyExperiment:

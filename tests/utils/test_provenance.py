@@ -1,0 +1,75 @@
+"""Tests for the shared provenance helpers.
+
+The point of :mod:`repro.utils.provenance` is that machine and code
+fingerprints have exactly one definition; the regression test below
+pins the trend module to the shared function so the formats cannot
+silently fork again.
+"""
+
+import os
+
+from repro.obs import trend
+from repro.utils import provenance
+
+
+class TestMachineFingerprint:
+    def test_expected_fields(self):
+        fingerprint = provenance.machine_fingerprint()
+        assert set(fingerprint) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+        }
+        assert fingerprint["cpu_count"] >= 0
+
+    def test_trend_reexports_the_same_function(self):
+        # Regression: trend.py used to carry its own copy; it must now be
+        # the one shared definition, not a lookalike.
+        assert trend.machine_fingerprint is provenance.machine_fingerprint
+
+
+class TestCodeFingerprint:
+    def test_stable_within_a_process(self):
+        assert provenance.code_fingerprint() == provenance.code_fingerprint()
+        assert len(provenance.code_fingerprint()) == 16
+
+    def test_content_changes_the_digest(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "a.py").write_text("x = 1\n")
+        first = provenance.code_fingerprint(str(root))
+        (root / "a.py").write_text("x = 2\n")
+        provenance._CODE_FINGERPRINTS.pop(os.path.abspath(str(root)), None)
+        second = provenance.code_fingerprint(str(root))
+        assert first != second
+
+    def test_rename_changes_the_digest(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "a.py").write_text("x = 1\n")
+        first = provenance.code_fingerprint(str(root))
+        provenance._CODE_FINGERPRINTS.pop(os.path.abspath(str(root)), None)
+        (root / "a.py").rename(root / "b.py")
+        second = provenance.code_fingerprint(str(root))
+        assert first != second
+
+    def test_non_python_files_ignored(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "a.py").write_text("x = 1\n")
+        first = provenance.code_fingerprint(str(root))
+        provenance._CODE_FINGERPRINTS.pop(os.path.abspath(str(root)), None)
+        (root / "notes.txt").write_text("irrelevant\n")
+        second = provenance.code_fingerprint(str(root))
+        assert first == second
+
+    def test_cached_per_root(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "a.py").write_text("x = 1\n")
+        first = provenance.code_fingerprint(str(root))
+        # A second call returns the cached digest even after an edit...
+        (root / "a.py").write_text("x = 3\n")
+        assert provenance.code_fingerprint(str(root)) == first

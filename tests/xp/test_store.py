@@ -1,0 +1,126 @@
+"""Tests for the repro-xp/1 result store: schema, atomicity, freshness."""
+
+import json
+import os
+
+import pytest
+
+from repro.xp.store import (
+    XP_SCHEMA,
+    XP_SCHEMA_PREFIX,
+    ResultStore,
+    cell_result_document,
+    validate_cell_result,
+)
+
+
+def _document(key="abc123", **overrides):
+    doc = cell_result_document(
+        key=key,
+        experiment="runtime",
+        params={"experiment": "runtime", "dataset": "enron-sim", "seed": 1},
+        rows=[{"seconds": 0.5}],
+        duration_s=0.5,
+    )
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    def test_document_shape(self):
+        doc = _document()
+        assert doc["schema"] == XP_SCHEMA
+        assert "machine" in doc and "code_fingerprint" in doc
+        validate_cell_result(doc)  # no raise
+
+    def test_missing_schema(self):
+        with pytest.raises(ValueError, match="schema marker"):
+            validate_cell_result({"key": "x"})
+
+    def test_foreign_schema_version(self):
+        with pytest.raises(ValueError, match="unsupported cell schema"):
+            validate_cell_result(_document(schema=f"{XP_SCHEMA_PREFIX}99"))
+
+    def test_missing_field(self):
+        doc = _document()
+        del doc["rows"]
+        with pytest.raises(ValueError, match="missing required field 'rows'"):
+            validate_cell_result(doc)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            validate_cell_result(_document(duration_s=-1.0))
+
+    def test_bad_rows(self):
+        with pytest.raises(ValueError, match="'rows'"):
+            validate_cell_result(_document(rows=["not-a-dict"]))
+
+
+class TestResultStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        doc = _document()
+        store.save(doc)
+        assert store.has("abc123")
+        assert store.load("abc123")["rows"] == [{"seconds": 0.5}]
+        assert store.keys() == ["abc123"]
+
+    def test_missing_run_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not an experiment run directory"):
+            ResultStore(str(tmp_path / "nope"))
+
+    def test_invalid_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(ValueError, match="invalid cell key"):
+                store.has(bad)
+
+    def test_truncated_cell_is_unreadable_not_fresh(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        path = os.path.join(str(tmp_path / "run"), "cells", "broken.json")
+        with open(path, "w") as handle:
+            handle.write('{"schema": "repro-xp/1", "trunc')
+        with pytest.raises(ValueError, match="truncated or invalid JSON"):
+            store.load("broken")
+        assert not store.fresh("broken")
+
+    def test_fresh_requires_matching_fingerprint(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        store.save(_document())
+        current = store.load("abc123")["code_fingerprint"]
+        assert store.fresh("abc123", current)
+        assert not store.fresh("abc123", "0123456789abcdef")
+        assert not store.fresh("missing", current)
+
+    def test_save_is_atomic(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        store.save(_document())
+        cells_dir = os.path.join(str(tmp_path / "run"), "cells")
+        assert sorted(os.listdir(cells_dir)) == ["abc123.json"]  # no .tmp leftovers
+
+    def test_manifest_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        assert store.load_manifest() is None
+        store.write_manifest({"status": "running", "cells_total": 4})
+        manifest = store.load_manifest()
+        assert manifest["status"] == "running"
+        assert manifest["schema"] == XP_SCHEMA
+        assert "machine" in manifest and "updated_unix" in manifest
+
+    def test_corrupt_manifest_returns_none(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        with open(store.manifest_path, "w") as handle:
+            handle.write("not json")
+        assert store.load_manifest() is None
+
+    def test_results_iterates_in_key_order(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        for key in ("zzz", "aaa", "mmm"):
+            store.save(_document(key=key))
+        assert [doc["key"] for doc in store.results()] == ["aaa", "mmm", "zzz"]
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        store = ResultStore(str(tmp_path / "run"), create=True)
+        path = store.save(_document())
+        with open(path) as handle:
+            assert json.load(handle)["key"] == "abc123"
