@@ -22,6 +22,7 @@ from conftest import register_text
 
 from repro.core.approx import ApproxIRS
 from repro.core.oracle import ApproxInfluenceOracle
+from repro.ingest.live import LiveIndex
 from repro.obs import trend
 from repro.serve.loadgen import ServiceClient, run_loadgen, synth_workload
 from repro.serve.service import OracleService
@@ -38,6 +39,10 @@ TREND_ROUNDS = 5
 TREND_REQUESTS = 1_000
 
 SERVE_SNAPSHOT_ENV = "REPRO_SERVE_SNAPSHOT"
+
+#: Mixed read/write trend: this share of requests are /v1/ingest batches.
+INGEST_FRACTION = 0.2
+INGEST_SNAPSHOT_ENV = "REPRO_INGEST_SNAPSHOT"
 
 
 @pytest.fixture(scope="module")
@@ -157,5 +162,59 @@ def test_serve_trend_rounds(serve_oracle):
     ]
     register_text("Serve-trend", "\n".join(lines))
     path = os.environ.get(SERVE_SNAPSHOT_ENV, "")
+    if path:
+        trend.write_bench_snapshot(path, snapshot)
+
+
+def test_serve_mixed_ingest_rounds(serve_oracle):
+    """Query latency under concurrent ingestion, as a serve-trend snapshot.
+
+    Same aggregation as :func:`test_serve_trend_rounds`, but
+    ``INGEST_FRACTION`` of each round's requests are write batches
+    applied to a live index through the same worker pool — so the read
+    percentiles here measure the cost of sharing the process with the
+    writer-priority ingest lock (baseline:
+    ``benchmarks/results/INGEST_10.json``).
+    """
+    service = OracleService(serve_oracle, cache_size=256)
+    nodes = sorted(serve_oracle.nodes(), key=repr)
+    reports = []
+    for round_index in range(TREND_ROUNDS):
+        live = LiveIndex(window=10_000, decay_window=50_000)
+        client = ServiceClient(service, live=live)
+        workload = synth_workload(
+            nodes,
+            TREND_REQUESTS,
+            rng=29 + round_index,
+            ingest_fraction=INGEST_FRACTION,
+        )
+        report = run_loadgen(client, workload, threads=LOADGEN_THREADS)
+        assert report.errors == 0
+        assert report.requests == TREND_REQUESTS
+        assert report.per_endpoint.get("ingest", 0) > 0
+        assert live.stats()["events_applied"] > 0
+        reports.append(report.to_dict())
+    snapshot = trend.serve_bench_snapshot(
+        reports,
+        context={
+            "suite": "bench_serve",
+            "mode": "mixed-ingest",
+            "ingest_fraction": INGEST_FRACTION,
+            "rounds": TREND_ROUNDS,
+            "requests_per_round": TREND_REQUESTS,
+            "threads": LOADGEN_THREADS,
+            "dataset": "slashdot-sim",
+            "window_percent": WINDOW_PERCENT,
+            "precision": PRECISION,
+        },
+    )
+    by_name = {entry["name"]: entry for entry in snapshot["benchmarks"]}
+    lines = [
+        f"{name:<26} median {entry['median']:>10.3f}  "
+        f"iqr {entry['iqr']:>8.3f}  ({TREND_ROUNDS} rounds)"
+        for name, entry in sorted(by_name.items())
+    ]
+    register_text("Serve-mixed-ingest", "\n".join(lines))
+    path = os.environ.get(INGEST_SNAPSHOT_ENV, "")
     if path:
         trend.write_bench_snapshot(path, snapshot)

@@ -25,7 +25,12 @@ Four subcommands cover the typical workflow end to end:
   it as a ``repro-snap/1`` file (``snapshot save``), or verify and
   summarise an existing one (``snapshot load``);
 * ``serve``    — boot the JSON-over-HTTP oracle server from a snapshot
-  (see :mod:`repro.serve.http`; SIGTERM drains gracefully).
+  (see :mod:`repro.serve.http`; SIGTERM drains gracefully); ``--live``
+  adds the ``/v1/ingest`` + ``/v1/topk_live`` live-ingestion routes and
+  ``--publish-path`` a periodic snapshot publisher;
+* ``ingest``   — live-stream client: tail an interaction log into a
+  running server (``ingest tail``) or print the continuously maintained
+  top-k influencers (``ingest topk``) — see :mod:`repro.ingest`.
 
 Every command reads/writes the whitespace ``source target time`` edge-list
 format of :meth:`repro.core.interactions.InteractionLog.read`.
@@ -51,6 +56,7 @@ from repro.analysis.experiments import ALL_METHODS, select_seeds
 from repro.obs import from_jsonl, render_report, to_jsonl, to_prometheus, trend
 from repro.core.interactions import InteractionLog
 from repro.datasets.catalog import dataset_names, load_dataset
+from repro.ingest.live import LIVE_MODES
 from repro.simulation.spread import estimate_spread
 
 __all__ = ["main", "build_parser"]
@@ -257,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_xp_parser(commands)
 
+    from repro.ingest.cli import add_ingest_parser
+
+    add_ingest_parser(commands)
+
     snapshot_cmd = commands.add_parser(
         "snapshot", help="build/inspect repro-snap/1 oracle snapshots"
     )
@@ -318,6 +328,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSON SLO spec file for /v1/healthz evaluation "
         "(default: the built-in per-route objectives)",
+    )
+    serve_cmd.add_argument(
+        "--live",
+        choices=LIVE_MODES,
+        default=None,
+        metavar="MODE",
+        help="enable /v1/ingest + /v1/topk_live with this live index mode",
+    )
+    serve_cmd.add_argument(
+        "--live-window",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="channel duration budget omega of the live index (required with --live)",
+    )
+    serve_cmd.add_argument(
+        "--decay-window",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="sliding decay horizon; interactions age out of sigma(u) once "
+        "their channel start falls behind it (default: no decay)",
+    )
+    serve_cmd.add_argument(
+        "--live-precision",
+        type=int,
+        default=9,
+        help="sketch index bits of the live index (sketch mode; default: 9)",
+    )
+    serve_cmd.add_argument(
+        "--publish-path",
+        default="",
+        metavar="PATH",
+        help="periodically snapshot the live index here and hot-reload the "
+        "service from it (off when empty)",
+    )
+    serve_cmd.add_argument(
+        "--publish-interval",
+        type=float,
+        default=5.0,
+        help="seconds between publish attempts (default: 5)",
+    )
+    serve_cmd.add_argument(
+        "--publish-min-events",
+        type=int,
+        default=1,
+        help="skip a publish unless this many new events arrived (default: 1)",
     )
 
     return parser
@@ -481,6 +538,12 @@ def _command_xp(args: argparse.Namespace, out) -> int:
     return command_xp(args, out)
 
 
+def _command_ingest(args: argparse.Namespace, out) -> int:
+    from repro.ingest.cli import command_ingest
+
+    return command_ingest(args, out)
+
+
 def _command_snapshot(args: argparse.Namespace, out) -> int:
     from repro.serve.snapshot import SnapshotReader, save_oracle
 
@@ -532,7 +595,32 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     # Config files are validated before the (expensive) snapshot load so
     # a typo in the SLO spec fails fast.
     slo_specs = load_slo_specs(args.slo) if args.slo else None
+    live = None
+    publisher = None
+    if args.live is not None:
+        from repro.ingest.live import LiveIndex
+        if args.live_window is None:
+            raise ValueError("--live requires --live-window (omega, in ticks)")
+        live = LiveIndex(
+            window=args.live_window,
+            mode=args.live,
+            decay_window=args.decay_window,
+            precision=args.live_precision,
+        )
+    elif args.live_window is not None or args.decay_window is not None:
+        raise ValueError("--live-window/--decay-window require --live")
     service = OracleService.from_snapshot(args.snapshot, cache_size=args.cache_size)
+    if args.publish_path:
+        from repro.ingest.publisher import SnapshotPublisher
+        if live is None:
+            raise ValueError("--publish-path requires --live")
+        publisher = SnapshotPublisher(
+            live,
+            service,
+            args.publish_path,
+            interval=args.publish_interval,
+            min_events=args.publish_min_events,
+        )
     limit = (
         args.max_request_bytes
         if args.max_request_bytes is not None
@@ -545,17 +633,26 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         max_request_bytes=limit,
         access_log=AccessLog(path=args.access_log),
         slo_specs=slo_specs,
+        live=live,
+        publisher=publisher,
     )
     install_drain_handler(server)
     host, port = server.server_address[:2]
     info = service.info()
+    live_note = f", live ingest ({args.live})" if live is not None else ""
     print(
         f"serving {info['kind']} oracle ({info['nodes']} nodes) "
-        f"on http://{host}:{port} — SIGTERM drains",
+        f"on http://{host}:{port}{live_note} — SIGTERM drains",
         file=out,
         flush=True,
     )
-    serve_until_shutdown(server)
+    if publisher is not None:
+        publisher.start()
+    try:
+        serve_until_shutdown(server)
+    finally:
+        if publisher is not None:
+            publisher.stop()
     print("server drained, exiting", file=out)
     return 0
 
@@ -583,6 +680,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "report": _command_report,
         "obs": _command_obs,
         "xp": _command_xp,
+        "ingest": _command_ingest,
         "snapshot": _command_snapshot,
         "serve": _command_serve,
     }

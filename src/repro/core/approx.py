@@ -163,6 +163,46 @@ class ApproxIRS:
         self._last_time = time
         self._apply(source, target, time, self._sketches.get(target))
 
+    def process_tied(
+        self,
+        source: Node,
+        target: Node,
+        time: int,
+        target_sketch: Optional[VersionedHLL],
+    ) -> None:
+        """One interaction of a tied batch, merged from an explicit snapshot.
+
+        Mirrors :meth:`repro.core.exact.ExactIRS.process_tied`: the caller
+        owns the pre-stamp snapshots and the stamp may equal the current
+        frontier — it must not move it forward.
+        """
+        require_int(time, "time")
+        if self._last_time is not None and time > self._last_time:
+            raise ValueError(
+                f"tied processing cannot move the frontier forward: got "
+                f"t={time} after t={self._last_time}"
+            )
+        self._last_time = time
+        self._apply(source, target, time, target_sketch)
+
+    def sketch_snapshot(self, node: Node) -> Optional[VersionedHLL]:
+        """An isolated copy of the node's sketch (None when unseen)."""
+        existing = self._sketches.get(node)
+        return existing.copy() if existing is not None else None  # repro-lint: disable=R301 (tied-batch snapshot isolation requires a pre-batch copy)
+
+    def prune_ends_after(self, threshold: int) -> int:
+        """Decay sweep: drop pairs with ``t > threshold`` from every sketch.
+
+        Returns the number of evicted pairs.  Used by the live dual index,
+        where pair times are negated channel starts — pairs above the
+        negated horizon certify only channels that began before it.
+        """
+        require_int(threshold, "threshold")
+        evicted = 0
+        for sketch in self._sketches.values():  # repro-lint: budget=O(n·β) decay sweep, amortised by sweep_every
+            evicted += sketch.prune_newer_than(threshold)
+        return evicted
+
     @invariant(post_approx_apply)
     def _apply(
         self,

@@ -142,6 +142,53 @@ class ExactIRS:
         self._last_time = time
         self._apply(source, target, time, self._summaries.get(target))
 
+    def process_tied(
+        self,
+        source: Node,
+        target: Node,
+        time: int,
+        target_summary: Optional[IRSSummary],
+    ) -> None:
+        """One interaction of a tied batch, merged from an explicit snapshot.
+
+        The incremental face of :meth:`from_log`'s tie batching: the caller
+        owns the pre-stamp snapshots (see
+        :meth:`repro.core.streaming.StreamingExactIndex.observe`) and the
+        stamp may equal the current frontier — it must not move it forward.
+        """
+        require_int(time, "time")
+        if self._last_time is not None and time > self._last_time:
+            raise ValueError(
+                f"tied processing cannot move the frontier forward: got "
+                f"t={time} after t={self._last_time}"
+            )
+        self._last_time = time
+        self._apply(source, target, time, target_summary)
+
+    def summary_snapshot(self, node: Node) -> Optional[IRSSummary]:
+        """An isolated copy of ``ϕω(node)`` (None when the node is unseen).
+
+        Snapshots are what keep tied interactions from chaining: merges
+        within one stamp must read the pre-stamp state, never the partially
+        updated one.
+        """
+        existing = self._summaries.get(node)
+        return existing.copy() if existing is not None else None  # repro-lint: disable=R301 (tied-batch snapshot isolation requires a pre-batch copy)
+
+    def evict_ends_after(self, threshold: int) -> Dict[Node, int]:
+        """Decay sweep: drop entries with ``λ > threshold`` from every summary.
+
+        Returns how many entries were evicted per *reached* node, which is
+        exactly the per-influencer decrement the live index's incremental
+        top-k counts need (the index is used as a time-and-direction dual
+        there, so "reached node" means influencer).
+        """
+        require_int(threshold, "threshold")
+        evicted: Dict[Node, int] = {}
+        for summary in self._summaries.values():  # repro-lint: budget=O(n·|σ|) decay sweep, amortised by sweep_every
+            summary.evict_ends_after_into(threshold, evicted)
+        return evicted
+
     @invariant(post_exact_apply)
     def _apply(
         self,

@@ -37,13 +37,15 @@ the one-shot helper :func:`influencers_of`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 import repro.obs as obs
 from repro.core.approx import ApproxIRS
 from repro.core.exact import ExactIRS
 from repro.core.interactions import InteractionLog
+from repro.core.summary import IRSSummary
 from repro.lint.contracts import invariant, post_streaming_process
+from repro.sketch.vhll import VersionedHLL
 from repro.obs import OBS_STATE as _OBS
 from repro.utils.validation import require_int, require_non_negative, require_type
 
@@ -90,6 +92,10 @@ class StreamingExactIndex:
         require_non_negative(window, "window")
         self._window = window
         self._dual = ExactIRS(window)
+        # Live-mode tie handling: the original-time frontier plus pre-stamp
+        # summary snapshots of every node touched at the current stamp.
+        self._stamp: Optional[int] = None
+        self._stamp_snapshots: Dict[Node, Optional[IRSSummary]] = {}
         # Label children are resolved once; .inc()/.time() stay cheap.
         self._obs_events = _EVENTS.labels(kind="exact")
         self._obs_latency = _EVENT_SECONDS.labels(kind="exact")
@@ -120,6 +126,41 @@ class StreamingExactIndex:
             if self._obs_seen % _ENTRIES_SAMPLE_EVERY == 0:
                 self._obs_entries.set(self._dual.entry_count())
 
+    @invariant(post_streaming_process)
+    def observe(self, source: Node, target: Node, time: int) -> None:
+        """Feed one interaction; times must be *non-decreasing* (live mode).
+
+        Unlike :meth:`process`, equal stamps are accepted: interactions
+        sharing the current stamp are applied against a snapshot of each
+        dual summary as it stood when the stamp opened — the incremental
+        twin of :meth:`from_log`'s tie batching, so tied edges never chain
+        into one channel.  Snapshots are taken lazily at a node's first
+        touch within the stamp and dropped when the stamp advances.
+        """
+        require_int(time, "time")
+        if self._stamp is not None and time < self._stamp:
+            raise ValueError(
+                f"live interactions must arrive in non-decreasing time order: "
+                f"got t={time} after t={self._stamp}"
+            )
+        with self._obs_latency.time():
+            if time != self._stamp:
+                self._stamp = time
+                self._stamp_snapshots.clear()
+            # Dual event: flip direction, negate time.  The dual source is
+            # mutated, the dual target is read — snapshot both at first touch
+            # (a node mutated now may be read later within the same stamp).
+            snapshots = self._stamp_snapshots
+            for node in (target, source):
+                if node not in snapshots:
+                    snapshots[node] = self._dual.summary_snapshot(node)
+            self._dual.process_tied(target, source, -time, snapshots[source])
+        if _OBS.enabled:
+            self._obs_events.inc()
+            self._obs_seen += 1
+            if self._obs_seen % _ENTRIES_SAMPLE_EVERY == 0:
+                self._obs_entries.set(self._dual.entry_count())
+
     @classmethod
     def from_log(cls, log: InteractionLog, window: int) -> "StreamingExactIndex":
         """Replay a whole log (ties batched via the dual's from_log)."""
@@ -128,13 +169,62 @@ class StreamingExactIndex:
         index._dual = ExactIRS.from_log(log.time_reversed(), window)
         return index
 
-    def influencers(self, node: Node) -> set[Node]:
-        """``σω_in(node)`` — everyone with an in-budget channel into node."""
-        return self._dual.reachability_set(node)
+    @property
+    def last_time(self) -> Optional[int]:
+        """Original-time frontier of :meth:`observe` (None before any event)."""
+        return self._stamp
 
-    def influencer_count(self, node: Node) -> int:
-        """``|σω_in(node)|``."""
-        return self._dual.irs_size(node)
+    def influencers(self, node: Node, since: Optional[int] = None) -> set[Node]:
+        """``σω_in(node)`` — everyone with an in-budget channel into node.
+
+        With ``since``, only influence along channels *starting* at or
+        after ``since`` counts — the sliding-window decay semantics of
+        :mod:`repro.ingest.live` (a channel's start is its oldest
+        interaction, so every interaction of a counted channel is recent).
+        """
+        if since is None:
+            return self._dual.reachability_set(node)
+        require_int(since, "since")
+        return {
+            influencer
+            for influencer, dual_lambda in self._dual.summary(node).items()
+            if -dual_lambda >= since
+        }
+
+    def influencer_count(self, node: Node, since: Optional[int] = None) -> int:
+        """``|σω_in(node)|`` (optionally decayed, see :meth:`influencers`)."""
+        if since is None:
+            return self._dual.irs_size(node)
+        require_int(since, "since")
+        return sum(
+            1
+            for _, dual_lambda in self._dual.summary(node).items()
+            if -dual_lambda >= since
+        )
+
+    def influencer_starts(self, node: Node) -> Dict[Node, int]:
+        """``{influencer: latest channel start}`` as a fresh dict."""
+        return {
+            influencer: -dual_lambda
+            for influencer, dual_lambda in self._dual.summary(node).items()
+        }
+
+    def iter_influencer_starts(self, node: Node) -> Iterator[Tuple[Node, int]]:
+        """Lazily yield ``(influencer, latest channel start)`` pairs."""
+        for influencer, dual_lambda in self._dual.summary(node).items():
+            yield influencer, -dual_lambda
+
+    def evict_started_before(self, cutoff: int) -> Dict[Node, int]:
+        """Decay sweep: drop every entry whose channel start precedes ``cutoff``.
+
+        Sound *and* complete for the sliding-window semantics: starts are
+        fixed once recorded (expiry is monotone), and any future merge
+        extending an evicted channel would inherit the same expired start,
+        so nothing evicted can ever be needed again.  Returns per-influencer
+        eviction counts — the decrements for the live top-k counts.
+        """
+        require_int(cutoff, "cutoff")
+        return self._dual.evict_ends_after(-cutoff)
 
     def latest_start(self, node: Node, influencer: Node) -> Optional[int]:
         """Latest start time of an in-budget channel ``influencer → node``.
@@ -167,6 +257,8 @@ class StreamingSketchIndex:
         require_non_negative(window, "window")
         self._window = window
         self._dual = ApproxIRS(window, precision=precision, salt=salt)
+        self._stamp: Optional[int] = None
+        self._stamp_snapshots: Dict[Node, Optional[VersionedHLL]] = {}
         self._obs_events = _EVENTS.labels(kind="sketch")
         self._obs_latency = _EVENT_SECONDS.labels(kind="sketch")
         self._obs_entries = _ENTRIES.labels(kind="sketch")
@@ -215,9 +307,61 @@ class StreamingSketchIndex:
         )
         return index
 
-    def influencer_estimate(self, node: Node) -> float:
-        """Estimated ``|σω_in(node)|``."""
-        return self._dual.irs_estimate(node)
+    @invariant(post_streaming_process)
+    def observe(self, source: Node, target: Node, time: int) -> None:
+        """Feed one interaction; times must be non-decreasing (live mode).
+
+        The sketch twin of :meth:`StreamingExactIndex.observe`: tied
+        stamps merge from pre-stamp sketch snapshots so tied edges never
+        chain.
+        """
+        require_int(time, "time")
+        if self._stamp is not None and time < self._stamp:
+            raise ValueError(
+                f"live interactions must arrive in non-decreasing time order: "
+                f"got t={time} after t={self._stamp}"
+            )
+        with self._obs_latency.time():
+            if time != self._stamp:
+                self._stamp = time
+                self._stamp_snapshots.clear()
+            snapshots = self._stamp_snapshots
+            for node in (target, source):
+                if node not in snapshots:
+                    snapshots[node] = self._dual.sketch_snapshot(node)
+            self._dual.process_tied(target, source, -time, snapshots[source])
+        if _OBS.enabled:
+            self._obs_events.inc()
+            self._obs_seen += 1
+            if self._obs_seen % _ENTRIES_SAMPLE_EVERY == 0:
+                self._obs_entries.set(self._dual.entry_count())
+
+    @property
+    def last_time(self) -> Optional[int]:
+        """Original-time frontier of :meth:`observe` (None before any event)."""
+        return self._stamp
+
+    def influencer_estimate(self, node: Node, since: Optional[int] = None) -> float:
+        """Estimated ``|σω_in(node)|``.
+
+        With ``since``, only channels starting at or after ``since`` count
+        (dual pair times are negated starts, so the decay bound is an upper
+        bound ``-since`` on pair time).
+        """
+        if since is None:
+            return self._dual.irs_estimate(node)
+        require_int(since, "since")
+        return self._dual.sketch(node).cardinality_within(None, -since)
+
+    def evict_started_before(self, cutoff: int) -> int:
+        """Decay sweep: drop pairs whose channel start precedes ``cutoff``.
+
+        Returns the evicted pair count; see
+        :meth:`StreamingExactIndex.evict_started_before` for why eviction
+        is sound and complete.
+        """
+        require_int(cutoff, "cutoff")
+        return self._dual.prune_ends_after(-cutoff)
 
     def audience_overlap(self, nodes: Iterable[Node]) -> float:
         """Estimated ``|⋃ σω_in(v)|`` over the given nodes."""

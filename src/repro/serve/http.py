@@ -12,7 +12,19 @@ read-write-locked service.  Routes:
 ``/v1/spread``             POST    ``{"seeds": [...]}`` or ``{"seed_sets": [[...], ...]}``
 ``/v1/topk``               POST    ``{"k": n, "method": "influence"|"greedy"|"celf"}``
 ``/v1/reload``             POST    ``{"path": "..."}`` → hot snapshot swap
+``/v1/ingest``             POST    ``{"events": [[u, v, t], ...]}`` → live apply
+``/v1/topk_live``          POST    ``{"k": n}`` → continuously maintained top-k
 =========================  ======  =====================================
+
+Each route is one :class:`Route` entry in the ``_ROUTES`` table: a
+handler returning ``(status, payload)`` plus its accepted method and
+drain policy.  The dispatch helper owns everything else — request ids,
+metrics, the access log, error envelopes, drain refusal — so adding a
+route is one method and one table line.
+
+The two ``/v1/ingest*`` routes exist only when the server was built with
+a :class:`~repro.ingest.live.LiveIndex` (``repro serve --live``);
+without one they answer 404 like any unknown feature.
 
 **Request observability.**  Every request gets a request id — the
 inbound ``X-Request-Id`` header when well-formed, generated otherwise —
@@ -47,7 +59,20 @@ import signal
 import threading
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # layering: serve must not import ingest at runtime
+    from repro.ingest.live import LiveIndex
+    from repro.ingest.publisher import SnapshotPublisher
 
 import repro.obs as obs
 from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker
@@ -65,6 +90,7 @@ from repro.utils.validation import require_int, require_type
 __all__ = [
     "DEFAULT_MAX_REQUEST_BYTES",
     "OracleHTTPServer",
+    "Route",
     "build_server",
     "install_drain_handler",
     "serve_until_shutdown",
@@ -103,6 +129,8 @@ class OracleHTTPServer(ThreadingHTTPServer):
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         access_log: Optional[AccessLog] = None,
         slo_specs: Optional[Sequence[SLOSpec]] = None,
+        live: Optional["LiveIndex"] = None,
+        publisher: Optional["SnapshotPublisher"] = None,
     ) -> None:
         require_type(service, "service", OracleService)
         require_int(max_request_bytes, "max_request_bytes")
@@ -112,6 +140,10 @@ class OracleHTTPServer(ThreadingHTTPServer):
             )
         super().__init__(address, OracleRequestHandler)
         self.service = service
+        #: Live ingestion index behind ``/v1/ingest`` (None = batch-only).
+        self.live = live
+        #: Background snapshot publisher, surfaced in ``/v1/healthz``.
+        self.publisher = publisher
         self.max_request_bytes = max_request_bytes
         self.access_log = access_log if access_log is not None else AccessLog()
         self.request_ids = RequestIdGenerator()
@@ -130,6 +162,19 @@ class _RequestError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class Route(NamedTuple):
+    """One row of the ``_ROUTES`` table — adding a route is data, not code.
+
+    ``handler`` returns ``(status, payload)`` for the dispatch helper to
+    serialise, or ``None`` if it already wrote a raw response (metrics).
+    ``drain_exempt`` routes keep answering while the server drains.
+    """
+
+    handler: Callable[["OracleRequestHandler"], Optional[Tuple[int, object]]]
+    method: str
+    drain_exempt: bool = False
 
 
 class OracleRequestHandler(BaseHTTPRequestHandler):
@@ -235,25 +280,21 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         self,
         method: str,
         route: str,
-        matched: Optional[Tuple[object, str]],
+        matched: Optional[Route],
     ) -> None:
         try:
             if matched is None:
                 raise _RequestError(404, f"unknown route {route!r}")
-            handler, expected_method = matched
-            if method != expected_method:
+            if method != matched.method:
                 raise _RequestError(
-                    405, f"route {route!r} only accepts {expected_method}"
+                    405, f"route {route!r} only accepts {matched.method}"
                 )
-            if self.server.draining and route not in (
-                "/v1/metrics",
-                "/v1/debug/requests",
-            ):
-                if route == "/v1/healthz":
-                    self._send_json(503, self._health_payload("draining"))
-                    return
+            if self.server.draining and not matched.drain_exempt:
                 raise _RequestError(503, "server is draining; retry elsewhere")
-            handler(self)  # type: ignore[operator]
+            result = matched.handler(self)
+            if result is not None:
+                status, payload = result
+                self._send_json(status, payload)
         except _RequestError as error:
             self._send_error_envelope(error.status, error.message)
         except (TypeError, ValueError) as error:
@@ -275,7 +316,7 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         info = self.server.service.info()
         stats = self.server.service.stats()
         slo_statuses = self.server.slo.observe(obs.snapshot(include_spans=False))
-        return {
+        payload: Dict[str, object] = {
             "status": status,
             "kind": info["kind"],
             "nodes": info["nodes"],
@@ -284,9 +325,16 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
             "slo": [slo_status.to_dict() for slo_status in slo_statuses],
             "slo_ok": all(slo_status.ok for slo_status in slo_statuses),
         }
+        if self.server.live is not None:
+            payload["ingest"] = self.server.live.stats()
+        if self.server.publisher is not None:
+            payload["publisher"] = self.server.publisher.stats()
+        return payload
 
-    def _route_healthz(self) -> None:
-        self._send_json(200, self._health_payload("ok"))
+    def _route_healthz(self) -> Tuple[int, object]:
+        if self.server.draining:
+            return 503, self._health_payload("draining")
+        return 200, self._health_payload("ok")
 
     def _route_metrics(self) -> None:
         text = obs.to_prometheus(obs.snapshot(include_spans=False)).encode("utf-8")
@@ -298,13 +346,14 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(text)
         self._status = 200
         self._body_bytes = len(text)
+        return None
 
-    def _route_debug_requests(self) -> None:
+    def _route_debug_requests(self) -> Tuple[int, object]:
         log = self.server.access_log
         entries = log.recent(limit=DEFAULT_RING_SIZE)
-        self._send_json(200, {"requests": entries, "stats": log.stats()})
+        return 200, {"requests": entries, "stats": log.stats()}
 
-    def _route_influence(self) -> None:
+    def _route_influence(self) -> Tuple[int, object]:
         body = self._read_body()
         if "node" not in body:
             raise _RequestError(400, "field 'node' is required")
@@ -312,9 +361,9 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
         service = self.server.service
         if not service.contains(node):
             raise _RequestError(404, f"unknown node {node!r}")
-        self._send_json(200, {"node": node, "influence": service.influence(node)})
+        return 200, {"node": node, "influence": service.influence(node)}
 
-    def _route_spread(self) -> None:
+    def _route_spread(self) -> Tuple[int, object]:
         body = self._read_body()
         service = self.server.service
         if "seed_sets" in body:
@@ -324,20 +373,15 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
             ):
                 raise _RequestError(400, "field 'seed_sets' must be a list of lists")
             spreads = service.spread_many(seed_sets)
-            self._send_json(200, {"spreads": spreads, "count": len(spreads)})
-            return
+            return 200, {"spreads": spreads, "count": len(spreads)}
         seeds = body.get("seeds")
         if not isinstance(seeds, list):
             raise _RequestError(400, "field 'seeds' must be a list of node labels")
-        self._send_json(
-            200, {"spread": service.spread(seeds), "seeds": len(set(seeds))}
-        )
+        return 200, {"spread": service.spread(seeds), "seeds": len(set(seeds))}
 
-    def _route_topk(self) -> None:
+    def _route_topk(self) -> Tuple[int, object]:
         body = self._read_body()
-        k = body.get("k")
-        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
-            raise _RequestError(400, "field 'k' must be a positive integer")
+        k = self._require_k(body)
         method = body.get("method", "influence")
         service = self.server.service
         if method == "influence":
@@ -353,24 +397,67 @@ class OracleRequestHandler(BaseHTTPRequestHandler):
                 f"unknown method {method!r}; use 'influence', "
                 f"{' or '.join(repr(m) for m in GREEDY_METHODS)}",
             )
-        self._send_json(200, {"k": k, "method": method, "seeds": payload})
+        return 200, {"k": k, "method": method, "seeds": payload}
 
-    def _route_reload(self) -> None:
+    def _route_reload(self) -> Tuple[int, object]:
         body = self._read_body()
         path = body.get("path")
         if not isinstance(path, str) or not path:
             raise _RequestError(400, "field 'path' must be a snapshot path")
-        self._send_json(200, self.server.service.reload(path))
+        return 200, self.server.service.reload(path)
+
+    # -- live ingestion routes -----------------------------------------
+    def _require_live(self) -> "LiveIndex":
+        live = self.server.live
+        if live is None:
+            raise _RequestError(404, "live ingestion is not enabled on this server")
+        return live
+
+    @staticmethod
+    def _require_k(body: Dict[str, object]) -> int:
+        k = body.get("k")
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise _RequestError(400, "field 'k' must be a positive integer")
+        return k
+
+    def _route_ingest(self) -> Tuple[int, object]:
+        live = self._require_live()
+        body = self._read_body()
+        events = body.get("events")
+        if not isinstance(events, list):
+            raise _RequestError(
+                400, "field 'events' must be a list of [source, target, time] triples"
+            )
+        return 200, live.apply_events(events).to_dict()
+
+    def _route_topk_live(self) -> Tuple[int, object]:
+        live = self._require_live()
+        body = self._read_body()
+        k = self._require_k(body)
+        ranked = live.topk(k)
+        return 200, {
+            "k": k,
+            "mode": live.mode,
+            "last_time": live.last_time(),
+            "horizon": live.horizon(),
+            "ranking": [
+                {"node": node, "influence": influence} for node, influence in ranked
+            ],
+        }
 
 
-_ROUTES: Dict[str, Tuple[object, str]] = {
-    "/v1/healthz": (OracleRequestHandler._route_healthz, "GET"),
-    "/v1/metrics": (OracleRequestHandler._route_metrics, "GET"),
-    "/v1/debug/requests": (OracleRequestHandler._route_debug_requests, "GET"),
-    "/v1/influence": (OracleRequestHandler._route_influence, "POST"),
-    "/v1/spread": (OracleRequestHandler._route_spread, "POST"),
-    "/v1/topk": (OracleRequestHandler._route_topk, "POST"),
-    "/v1/reload": (OracleRequestHandler._route_reload, "POST"),
+_ROUTES: Dict[str, Route] = {
+    "/v1/healthz": Route(OracleRequestHandler._route_healthz, "GET", drain_exempt=True),
+    "/v1/metrics": Route(OracleRequestHandler._route_metrics, "GET", drain_exempt=True),
+    "/v1/debug/requests": Route(
+        OracleRequestHandler._route_debug_requests, "GET", drain_exempt=True
+    ),
+    "/v1/influence": Route(OracleRequestHandler._route_influence, "POST"),
+    "/v1/spread": Route(OracleRequestHandler._route_spread, "POST"),
+    "/v1/topk": Route(OracleRequestHandler._route_topk, "POST"),
+    "/v1/reload": Route(OracleRequestHandler._route_reload, "POST"),
+    "/v1/ingest": Route(OracleRequestHandler._route_ingest, "POST"),
+    "/v1/topk_live": Route(OracleRequestHandler._route_topk_live, "POST"),
 }
 
 
@@ -381,6 +468,8 @@ def build_server(
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     access_log: Optional[AccessLog] = None,
     slo_specs: Optional[Sequence[SLOSpec]] = None,
+    live: Optional["LiveIndex"] = None,
+    publisher: Optional["SnapshotPublisher"] = None,
 ) -> OracleHTTPServer:
     """Bind an :class:`OracleHTTPServer`; ``port=0`` picks a free port."""
     return OracleHTTPServer(
@@ -389,6 +478,8 @@ def build_server(
         max_request_bytes=max_request_bytes,
         access_log=access_log,
         slo_specs=slo_specs,
+        live=live,
+        publisher=publisher,
     )
 
 

@@ -17,10 +17,21 @@ the occasional ``topk`` scan.  Everything is seeded through
 :mod:`repro.utils.rng`, so two runs against the same snapshot issue the
 same requests in the same per-thread order.
 
+``ingest_fraction`` mixes *writes* into the stream: that share of
+requests POST interaction batches to ``/v1/ingest`` (or apply straight
+to an in-process :class:`~repro.ingest.live.LiveIndex`), so the reported
+read percentiles measure query latency **under concurrent ingestion** —
+the contention the writer-priority lock is supposed to keep small.
+Event times come from a shared monotonic :class:`IngestClock` at *send*
+time, because pre-assigning them per request would go stale under
+multi-threaded reordering; the server counts any stragglers as
+``rejected``, never as errors.
+
 Also runnable standalone::
 
     python -m repro.serve.loadgen --snapshot oracle.snap --requests 1000
     python -m repro.serve.loadgen --url http://127.0.0.1:8750 --requests 500
+    python -m repro.serve.loadgen --url ... --ingest-fraction 0.2
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from repro.utils.validation import require_int, require_positive, require_type
 
 __all__ = [
     "HttpClient",
+    "IngestClock",
     "LoadgenReport",
     "ServiceClient",
     "main",
@@ -56,12 +68,34 @@ _SPREAD_SHARE = 0.70
 _INFLUENCE_SHARE = 0.25
 
 
+class IngestClock:
+    """Monotonic event-time source shared by all loadgen workers.
+
+    The live index requires non-decreasing event times; stamping at
+    *send* time under one lock keeps concurrent workers ordered without
+    coordinating the request schedule itself.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        require_int(start, "start")
+        self._lock = threading.Lock()
+        self._now = start  # repro-lint: guarded-by=_lock
+
+    def next_time(self) -> int:
+        """The next (strictly increasing) event time."""
+        with self._lock:
+            self._now += 1
+            return self._now
+
+
 def synth_workload(
     nodes: Sequence[Node],
     count: int,
     rng: RngLike = 0,
     pool_size: int = 32,
     max_seeds: int = 8,
+    ingest_fraction: float = 0.0,
+    ingest_pairs: int = 4,
 ) -> List[Dict[str, object]]:
     """``count`` deterministic request dicts over ``nodes``.
 
@@ -69,6 +103,11 @@ def synth_workload(
     then picks from the pool with a rank-skewed preference (earlier sets
     are hotter), so any cache larger than the pool converges to a high
     hit rate — the realistic shape of dashboard traffic.
+
+    ``ingest_fraction`` of the requests become write batches of
+    ``ingest_pairs`` random ``[source, target]`` pairs (times are stamped
+    by the client at send time); the read mix keeps its internal 70/25/5
+    proportions over the remaining share.
     """
     require_int(count, "count")
     require_positive(count, "count")
@@ -76,6 +115,13 @@ def synth_workload(
     require_positive(pool_size, "pool_size")
     require_int(max_seeds, "max_seeds")
     require_positive(max_seeds, "max_seeds")
+    require_type(ingest_fraction, "ingest_fraction", (int, float))
+    if not 0.0 <= ingest_fraction <= 1.0:
+        raise ValueError(
+            f"ingest_fraction must be within [0, 1], got {ingest_fraction}"
+        )
+    require_int(ingest_pairs, "ingest_pairs")
+    require_positive(ingest_pairs, "ingest_pairs")
     if not nodes:
         raise ValueError("synth_workload needs a non-empty node sequence")
     generator = resolve_rng(rng)
@@ -84,15 +130,24 @@ def synth_workload(
     for _ in range(pool_size):
         size = 1 + generator.randrange(max_seeds)
         pool.append([generator.choice(universe) for _ in range(size)])
+    read_share = 1.0 - ingest_fraction
+    spread_bound = ingest_fraction + _SPREAD_SHARE * read_share
+    influence_bound = spread_bound + _INFLUENCE_SHARE * read_share
     requests: List[Dict[str, object]] = []
     for _ in range(count):
         roll = generator.random()
-        if roll < _SPREAD_SHARE:
+        if roll < ingest_fraction:
+            pairs = [
+                [generator.choice(universe), generator.choice(universe)]
+                for _ in range(ingest_pairs)
+            ]
+            requests.append({"endpoint": "ingest", "pairs": pairs})
+        elif roll < spread_bound:
             # Rank-skewed pool pick: square the uniform draw so low ranks
             # (hot seed sets) dominate without starving the tail.
             rank = int(generator.random() ** 2 * len(pool))
             requests.append({"endpoint": "spread", "seeds": list(pool[rank])})
-        elif roll < _SPREAD_SHARE + _INFLUENCE_SHARE:
+        elif roll < influence_bound:
             requests.append({"endpoint": "influence", "node": generator.choice(universe)})
         else:
             requests.append({"endpoint": "topk", "k": 1 + generator.randrange(10)})
@@ -100,11 +155,22 @@ def synth_workload(
 
 
 class ServiceClient:
-    """Executes workload requests against an in-process service."""
+    """Executes workload requests against an in-process service.
 
-    def __init__(self, service: OracleService) -> None:
+    Pass a :class:`~repro.ingest.live.LiveIndex` as ``live`` to accept
+    ``ingest`` workload ops; its event times come from ``clock``.
+    """
+
+    def __init__(
+        self,
+        service: OracleService,
+        live: Optional[object] = None,
+        clock: Optional[IngestClock] = None,
+    ) -> None:
         require_type(service, "service", OracleService)
         self._service = service
+        self._live = live
+        self._clock = clock if clock is not None else IngestClock()
 
     def request(self, op: Dict[str, object]) -> object:
         """Execute one workload request; raises on service errors."""
@@ -115,6 +181,17 @@ class ServiceClient:
             return self._service.influence(op["node"])
         if endpoint == "topk":
             return self._service.influence_topk(op["k"])  # type: ignore[arg-type]
+        if endpoint == "ingest":
+            if self._live is None:
+                raise ValueError(
+                    "ingest workload needs a live index; pass ServiceClient(service, live=...)"
+                )
+            time = self._clock.next_time()
+            events = [
+                (source, target, time)
+                for source, target in op["pairs"]  # type: ignore[union-attr]
+            ]
+            return self._live.apply_events(events)  # type: ignore[attr-defined]
         raise ValueError(f"unknown workload endpoint {endpoint!r}")
 
 
@@ -126,11 +203,17 @@ class HttpClient:
     generator can correlate with its own latency samples.
     """
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        clock: Optional[IngestClock] = None,
+    ) -> None:
         require_type(base_url, "base_url", str)
         self._base = base_url.rstrip("/")
         self._timeout = timeout
         self._request_ids = RequestIdGenerator()
+        self._clock = clock if clock is not None else IngestClock()
 
     def request(self, op: Dict[str, object]) -> object:
         """POST one workload request; raises on any non-200 answer."""
@@ -141,6 +224,14 @@ class HttpClient:
             route, body = "/v1/influence", {"node": op["node"]}
         elif endpoint == "topk":
             route, body = "/v1/topk", {"k": op["k"], "method": "influence"}
+        elif endpoint == "ingest":
+            time = self._clock.next_time()
+            route, body = "/v1/ingest", {
+                "events": [
+                    [source, target, time]
+                    for source, target in op["pairs"]  # type: ignore[union-attr]
+                ]
+            }
         else:
             raise ValueError(f"unknown workload endpoint {endpoint!r}")
         data = json.dumps(body).encode("utf-8")
@@ -363,6 +454,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--pool-size", type=int, default=32, help="distinct recurring seed sets"
     )
     parser.add_argument(
+        "--ingest-fraction",
+        type=float,
+        default=0.0,
+        help="share of requests that POST interaction batches to /v1/ingest "
+        "(default: 0 = read-only)",
+    )
+    parser.add_argument(
+        "--live-window",
+        type=int,
+        default=10_000,
+        help="live-index omega for in-process --snapshot runs with "
+        "--ingest-fraction > 0 (default: 10000)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text", help="report format"
     )
     parser.add_argument(
@@ -374,13 +479,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     client: object
     if args.snapshot:
         service = OracleService.from_snapshot(args.snapshot)
-        client = ServiceClient(service)
+        live = None
+        if args.ingest_fraction > 0:
+            from repro.ingest.live import LiveIndex
+
+            live = LiveIndex(window=args.live_window)
+        client = ServiceClient(service, live=live)
     else:
         client = HttpClient(args.url)
     try:
         nodes = _workload_nodes(client, service)
         workload = synth_workload(
-            nodes, args.requests, rng=args.seed, pool_size=args.pool_size
+            nodes,
+            args.requests,
+            rng=args.seed,
+            pool_size=args.pool_size,
+            ingest_fraction=args.ingest_fraction,
         )
         report = run_loadgen(
             client, workload, threads=args.threads, join_timeout=args.join_timeout

@@ -110,6 +110,42 @@ class SlidingWindowHLL:
             pairs.pop()
         pairs.append((timestamp, r))
 
+    def add_at(self, item: Hashable, timestamp: int) -> None:
+        """Like :meth:`add`, but accepts out-of-order timestamps.
+
+        The live influence tracker (:mod:`repro.ingest.live`) feeds each
+        node's sketch with *channel start times*, which do not arrive
+        monotonically: a late interaction can extend a channel that began
+        long ago.  General-position insertion costs an extra binary search
+        over the fast append path; the dominance frontier is identical.
+        """
+        require_int(timestamp, "timestamp")
+        if self._last_time is None or timestamp >= self._last_time:
+            self.add(item, timestamp)
+            return
+        cell_index, r = split_hash(item, self._precision, self._salt)
+        pairs = self._cells[cell_index]
+        if pairs is None:
+            self._cells[cell_index] = [(timestamp, r)]
+            return
+        i = bisect_left(pairs, timestamp, key=lambda pair: pair[0])
+        # At most one stored pair can share this timestamp (same-t pairs
+        # dominate each other); it sits exactly at position i.
+        if i < len(pairs) and pairs[i][0] == timestamp:
+            if pairs[i][1] >= r:
+                return
+            del pairs[i]
+        # rho decreases with t, so pairs[i] holds the max rho of every
+        # strictly newer pair: it alone decides domination of the new pair.
+        if i < len(pairs) and pairs[i][1] >= r:
+            return
+        # Strictly older pairs with rho <= r are dominated by the new pair;
+        # they form a contiguous run ending at i.
+        j = i
+        while j > 0 and pairs[j - 1][1] <= r:
+            j -= 1
+        pairs[j:i] = [(timestamp, r)]
+
     def prune(self, before: int) -> None:
         """Discard pairs with ``t < before``.
 
@@ -138,24 +174,26 @@ class SlidingWindowHLL:
         pair inside the window carries the maximum.
         """
         registers = []
+        append = registers.append
         for pairs in self._cells:
             if not pairs:
-                registers.append(0)
+                append(0)
                 continue
             index = bisect_left(pairs, start, key=lambda pair: pair[0])
-            registers.append(pairs[index][1] if index < len(pairs) else 0)
+            append(pairs[index][1] if index < len(pairs) else 0)
         return registers
 
     def cardinality_since(self, start: int) -> float:
         """Estimated distinct items among arrivals with ``t >= start``."""
         return estimate_from_registers(self.registers_since(start), self._m)
 
+    def registers(self) -> list[int]:
+        """Per-cell max ρ over the whole stream (the plain HLL registers)."""
+        return [pairs[0][1] if pairs else 0 for pairs in self._cells]
+
     def cardinality(self) -> float:
         """Estimated distinct items over the whole stream seen so far."""
-        registers = []
-        for pairs in self._cells:
-            registers.append(pairs[0][1] if pairs else 0)
-        return estimate_from_registers(registers, self._m)
+        return estimate_from_registers(self.registers(), self._m)
 
     def __len__(self) -> int:
         """Whole-stream estimate, rounded."""

@@ -228,6 +228,34 @@ class VersionedHLL:
                     break  # pairs are time-sorted; the rest are too late
                 insert_pair(cell_index, r, t)
 
+    def prune_newer_than(self, max_time: int) -> int:
+        """Discard pairs with ``t > max_time``; return the eviction count.
+
+        Safe once no query or merge will ever care about pairs later than
+        ``max_time`` again.  That is exactly the decay situation of the
+        live dual index (:mod:`repro.ingest.live`): dual stamps are
+        negated channel starts, the decay horizon only moves forward, so
+        its negation only moves down — pairs above today's cutoff are
+        above every future cutoff too.  Pruned pairs are the highest-t
+        (hence highest-ρ) suffix of each cell, so the sorted
+        Pareto-frontier invariant survives, and since the latest pair of a
+        cell dominates nothing, no surviving pair's presence depended on
+        a pruned one.
+        """
+        require_int(max_time, "max_time")
+        evicted = 0
+        for index, pairs in enumerate(self._cells):
+            if not pairs:
+                continue
+            size = len(pairs)
+            cut = bisect_right(pairs, max_time, key=_TIME_KEY)
+            if cut < size:
+                evicted += size - cut
+                del pairs[cut:]
+                if not pairs:
+                    self._cells[index] = None
+        return evicted
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

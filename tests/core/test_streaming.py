@@ -15,6 +15,13 @@ from repro.core.streaming import (
     StreamingSketchIndex,
     influencers_of,
 )
+from repro.datasets.generators import uniform_network
+
+
+@pytest.fixture(scope="module")
+def tied_log() -> InteractionLog:
+    """Dense little log with plenty of tied time stamps."""
+    return uniform_network(30, 400, 120, rng=19)
 
 
 def offline_influencers(log: InteractionLog, node, window: int) -> set:
@@ -154,6 +161,80 @@ class TestStreamingSketch:
             small_email_log, small_email_log.window_from_percent(10), precision=7
         )
         assert sketch.entry_count() > 0
+
+
+class TestObserve:
+    """Live ``observe()`` accepts tied stamps and equals the batch replay."""
+
+    def test_tied_stamps_do_not_chain(self):
+        index = StreamingExactIndex(window=10)
+        index.observe("a", "b", 5)
+        index.observe("b", "c", 5)
+        # Both edges see the pre-stamp state: no a→c channel exists.
+        assert index.influencers("b") == {"a"}
+        assert index.influencers("c") == {"b"}
+
+    def test_rejects_decreasing_but_allows_equal_times(self):
+        index = StreamingExactIndex(window=10)
+        index.observe("a", "b", 5)
+        index.observe("c", "d", 5)
+        with pytest.raises(ValueError):
+            index.observe("e", "f", 4)
+        assert index.last_time == 5
+
+    def test_matches_from_log_on_tied_log(self, tied_log):
+        window = 120
+        live = StreamingExactIndex(window)
+        for record in tied_log.forward():
+            live.observe(record.source, record.target, record.time)
+        batch = StreamingExactIndex.from_log(tied_log, window)
+        for node in tied_log.nodes:
+            assert live.influencers(node) == batch.influencers(node), node
+            assert live.influencer_starts(node) == batch.influencer_starts(node), node
+
+    def test_sketch_matches_from_log_on_tied_log(self, tied_log):
+        window = 120
+        live = StreamingSketchIndex(window, precision=7)
+        for record in tied_log.forward():
+            live.observe(record.source, record.target, record.time)
+        batch = StreamingSketchIndex.from_log(tied_log, window, precision=7)
+        for node in tied_log.nodes:
+            assert live.influencer_estimate(node) == batch.influencer_estimate(
+                node
+            ), node
+
+
+class TestEviction:
+    """Sliding-window decay: drop summary entries whose channel start aged out."""
+
+    def test_evict_reports_per_influencer_counts(self):
+        index = StreamingExactIndex(window=100)
+        index.observe("a", "b", 1)
+        index.observe("a", "c", 2)
+        index.observe("x", "y", 9)
+        evicted = index.evict_started_before(5)
+        assert evicted == {"a": 2}
+        assert index.influencers("b") == set()
+        assert index.influencers("y") == {"x"}
+
+    def test_evict_keeps_exactly_the_recent_suffix(self, tied_log):
+        window = 120
+        index = StreamingExactIndex.from_log(tied_log, window)
+        reference = StreamingExactIndex.from_log(tied_log, window)
+        cutoff = (index.last_time or 0) - 40
+        index.evict_started_before(cutoff)
+        for node in tied_log.nodes:
+            assert index.influencers(node) == reference.influencers(
+                node, since=cutoff
+            ), node
+
+    def test_sketch_evict_returns_dropped_pair_count(self):
+        sketch = StreamingSketchIndex(window=100, precision=6)
+        sketch.observe("a", "b", 1)
+        sketch.observe("x", "y", 9)
+        assert sketch.evict_started_before(5) == 1
+        assert sketch.influencer_estimate("b") == 0.0
+        assert sketch.influencer_estimate("y") > 0.0
 
 
 class TestInfluencersOf:

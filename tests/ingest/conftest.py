@@ -1,0 +1,52 @@
+"""Shared ingest-layer fixtures: small logs plus a clean obs registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.obs as obs
+from repro.core.interactions import Interaction, InteractionLog
+from repro.datasets.generators import uniform_network
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Ingest metrics share the global registry; isolate every test."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def small_log():
+    """A dense little log with plenty of tied time stamps."""
+    return uniform_network(30, 400, 120, rng=19)
+
+
+@pytest.fixture(scope="module")
+def acyclic_log():
+    """Edges only run low → high node id, so no channel can ever cycle.
+
+    On cycle-free logs the live sketch registers must equal the batch
+    ApproxIRS registers *exactly* (the batch sketch's only divergence is
+    the +1 self-inclusion on nodes sitting on an in-window cycle).
+    """
+    rng = random.Random(23)
+    nodes = [f"n{index:02d}" for index in range(24)]
+    records = []
+    time = 0
+    for _ in range(500):
+        time += rng.choice([0, 1, 1, 2])
+        low = rng.randrange(len(nodes) - 1)
+        high = rng.randrange(low + 1, len(nodes))
+        records.append(Interaction(nodes[low], nodes[high], time))
+    return InteractionLog(records)
+
+
+def forward_events(log: InteractionLog):
+    """A log as the (source, target, time) batches apply_events expects."""
+    return [(record.source, record.target, record.time) for record in log.forward()]

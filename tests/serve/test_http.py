@@ -16,6 +16,7 @@ from repro.serve.accesslog import REQUEST_ID_HEADER
 from repro.serve.http import (
     DEFAULT_MAX_REQUEST_BYTES,
     OracleHTTPServer,
+    Route,
     build_server,
     install_drain_handler,
     serve_until_shutdown,
@@ -85,6 +86,22 @@ def _post_error(server, route, payload=None, raw=None, method="POST"):
         urllib.request.urlopen(request, timeout=10)
     body = json.loads(excinfo.value.read())
     return excinfo.value.code, body
+
+
+class TestRouteTable:
+    """Adding a route is a data change: one Route entry, not dispatch code."""
+
+    def test_route_defaults_to_drained(self):
+        route = Route(lambda handler: (200, {}), "POST")
+        assert route.method == "POST"
+        assert route.drain_exempt is False
+
+    def test_drain_exempt_routes_are_marked(self):
+        from repro.serve.http import _ROUTES
+
+        exempt = {path for path, route in _ROUTES.items() if route.drain_exempt}
+        assert exempt == {"/v1/healthz", "/v1/metrics", "/v1/debug/requests"}
+        assert all(route.handler is not None for route in _ROUTES.values())
 
 
 class TestRoutes:

@@ -127,3 +127,83 @@ class TestPrune:
         sketch.add("a", 1)
         sketch.prune(100)
         assert sketch.entry_count() == 0
+
+
+class TestAddAt:
+    """General-position inserts must converge to the sorted-replay state."""
+
+    def test_fast_path_delegates_to_add(self):
+        sorted_sketch = SlidingWindowHLL(precision=6)
+        mixed = SlidingWindowHLL(precision=6)
+        for t in range(100):
+            sorted_sketch.add(t, t)
+            mixed.add_at(t, t)
+        assert mixed.registers() == sorted_sketch.registers()
+        assert mixed.last_time == sorted_sketch.last_time
+
+    def test_shuffled_inserts_match_sorted_adds(self):
+        import random
+
+        generator = random.Random(31)
+        stamped = [(item, generator.randrange(500)) for item in range(400)]
+        sorted_sketch = SlidingWindowHLL(precision=6)
+        for item, t in sorted(stamped, key=lambda pair: pair[1]):
+            sorted_sketch.add(item, t)
+        shuffled = list(stamped)
+        generator.shuffle(shuffled)
+        mixed = SlidingWindowHLL(precision=6)
+        for item, t in shuffled:
+            mixed.add_at(item, t)
+        for start in (None, 0, 100, 250, 499):
+            if start is None:
+                assert mixed.cardinality() == sorted_sketch.cardinality()
+            else:
+                assert mixed.registers_since(start) == sorted_sketch.registers_since(
+                    start
+                ), start
+
+    @given(
+        stamped=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=60,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_order_independence(self, stamped, seed):
+        import random
+
+        sorted_sketch = SlidingWindowHLL(precision=4)
+        for item, t in sorted(stamped, key=lambda pair: pair[1]):
+            sorted_sketch.add(item, t)
+        shuffled = list(stamped)
+        random.Random(seed).shuffle(shuffled)
+        mixed = SlidingWindowHLL(precision=4)
+        for item, t in shuffled:
+            mixed.add_at(item, t)
+        assert mixed.registers() == sorted_sketch.registers()
+        for start in (0, 10, 25, 50):
+            assert mixed.registers_since(start) == sorted_sketch.registers_since(start)
+
+    def test_rejects_non_int_time(self):
+        with pytest.raises(TypeError):
+            SlidingWindowHLL(precision=4).add_at("a", 1.5)
+
+
+class TestRegisters:
+    def test_empty_sketch_is_all_zero(self):
+        sketch = SlidingWindowHLL(precision=4)
+        assert sketch.registers() == [0] * sketch.num_cells
+
+    def test_registers_are_the_unwindowed_view(self):
+        sketch = SlidingWindowHLL(precision=5)
+        for t in range(300):
+            sketch.add(t, t)
+        plain = sketch.registers()
+        # Every cell's register is its newest (largest-rho) frontier entry,
+        # which equals the window "since the beginning of time".
+        assert plain == sketch.registers_since(0)
+        assert any(register > 0 for register in plain)

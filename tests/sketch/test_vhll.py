@@ -379,3 +379,35 @@ class TestCellLengths:
         mean_length = sum(lengths) / len(lengths)
         harmonic = math.log(256)
         assert mean_length < 3 * harmonic
+
+
+class TestPruneNewerThan:
+    def test_drops_exactly_the_high_t_suffix(self):
+        sketch = VersionedHLL(precision=4)
+        for t in range(100, 0, -1):  # reverse chronological like the scan
+            sketch.add(t, t)
+        evicted = sketch.prune_newer_than(60)
+        assert evicted > 0
+        # Everything at or below the cutoff is still countable...
+        assert sketch.cardinality_within(None, 60) == pytest.approx(60, rel=0.4)
+        # ... and nothing above it survives.
+        assert sketch.cardinality_within(61, None) == 0.0
+
+    def test_matches_rebuild_from_surviving_items(self):
+        sketch = VersionedHLL(precision=4, salt=9)
+        rebuilt = VersionedHLL(precision=4, salt=9)
+        for t in range(80, 0, -1):
+            sketch.add(t * 31, t)
+            if t <= 40:
+                rebuilt.add(t * 31, t)
+        sketch.prune_newer_than(40)
+        assert sketch.effective_registers() == rebuilt.effective_registers()
+
+    def test_prune_to_empty_and_validation(self):
+        sketch = VersionedHLL(precision=3)
+        sketch.add("a", 5)
+        assert sketch.prune_newer_than(4) >= 1
+        assert sketch.cardinality() == 0.0
+        assert sketch.prune_newer_than(4) == 0  # idempotent once empty
+        with pytest.raises(TypeError):
+            sketch.prune_newer_than("soon")
